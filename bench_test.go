@@ -1,0 +1,239 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6), one Benchmark per artifact, plus hot-path micro-benchmarks.
+//
+// Each figure benchmark runs the registered experiment from
+// internal/expt at the small scale (20k flows, paper ratios) and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints both the runtime cost of regenerating an artifact and the measured
+// result. Use cmd/caesar-bench -scale medium|paper for the full-size runs
+// recorded in EXPERIMENTS.md.
+package caesar
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/expt"
+	"github.com/caesar-sketch/caesar/internal/hwsim"
+)
+
+var (
+	benchOnce sync.Once
+	benchW    *expt.Workload
+	benchErr  error
+)
+
+func benchWorkload(b *testing.B) *expt.Workload {
+	b.Helper()
+	benchOnce.Do(func() { benchW, benchErr = expt.BuildWorkload(expt.Small) })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchW
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	w := benchWorkload(b)
+	e, err := expt.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3FlowSizeDistribution regenerates Figure 3 (trace CCDF).
+func BenchmarkFig3FlowSizeDistribution(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4CAESARAccuracy regenerates Figure 4 (CAESAR CSM/MLM x
+// LRU/random accuracy panels).
+func BenchmarkFig4CAESARAccuracy(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5CASEAccuracy regenerates Figure 5 (CASE at two budgets).
+func BenchmarkFig5CASEAccuracy(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6RCSLossless regenerates Figure 6 (RCS, lossless assumption).
+func BenchmarkFig6RCSLossless(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7RCSLossy regenerates Figure 7 (RCS at 2/3 and 9/10 loss).
+func BenchmarkFig7RCSLossy(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8ProcessingTime regenerates Figure 8 (hardware timing model)
+// and reports the headline speedups as custom metrics.
+func BenchmarkFig8ProcessingTime(b *testing.B) {
+	w := benchWorkload(b)
+	spec := hwsim.DefaultSpec()
+	counts := []int{1000, 5000, 10000, 50000, 100000, 500000}
+	var avgCASE, avgRCS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := hwsim.ProcessingTimeSeries(spec, expt.K, int(w.Y), counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avgCASE, _, avgRCS, _ = hwsim.AverageSpeedups(series)
+	}
+	b.ReportMetric(100*avgCASE, "%speedup-vs-CASE")
+	b.ReportMetric(100*avgRCS, "%speedup-vs-RCS")
+}
+
+// BenchmarkTableAverageRelativeError regenerates the Section 1.5/6.3
+// headline error table.
+func BenchmarkTableAverageRelativeError(b *testing.B) { runExperiment(b, "tbl-are") }
+
+// BenchmarkTableSpeedup regenerates the Section 6.4 speedup table.
+func BenchmarkTableSpeedup(b *testing.B) { runExperiment(b, "tbl-speed") }
+
+// BenchmarkTableCICoverage regenerates the confidence-interval coverage
+// comparison (Equations 26/32, with and without the membership variance).
+func BenchmarkTableCICoverage(b *testing.B) { runExperiment(b, "tbl-ci") }
+
+// BenchmarkAblationCompress compares the Section 2.1 single-counter
+// compression schemes' decode error across widths.
+func BenchmarkAblationCompress(b *testing.B) { runExperiment(b, "abl-compress") }
+
+// BenchmarkAblationBraids contrasts Counter Braids' exact-decode cliff with
+// CAESAR's graceful degradation across memory budgets.
+func BenchmarkAblationBraids(b *testing.B) { runExperiment(b, "abl-braids") }
+
+// BenchmarkAblationSampling contrasts NetFlow-style sampling with CAESAR.
+func BenchmarkAblationSampling(b *testing.B) { runExperiment(b, "abl-sampling") }
+
+// BenchmarkAblationVHC compares VHC register sharing at equal SRAM.
+func BenchmarkAblationVHC(b *testing.B) { runExperiment(b, "abl-vhc") }
+
+// BenchmarkAblationLoss derives Figure 7's loss rates from the timing model.
+func BenchmarkAblationLoss(b *testing.B) { runExperiment(b, "abl-loss") }
+
+// BenchmarkAblationVolume exercises byte-mode (flow volume) counting.
+func BenchmarkAblationVolume(b *testing.B) { runExperiment(b, "abl-volume") }
+
+// BenchmarkAblationSeeds measures headline-metric spread across seeds.
+func BenchmarkAblationSeeds(b *testing.B) { runExperiment(b, "abl-seeds") }
+
+// BenchmarkAblationK sweeps the per-flow counter count k.
+func BenchmarkAblationK(b *testing.B) { runExperiment(b, "abl-k") }
+
+// BenchmarkAblationY sweeps the cache entry capacity y.
+func BenchmarkAblationY(b *testing.B) { runExperiment(b, "abl-y") }
+
+// BenchmarkAblationPolicy compares LRU and random replacement.
+func BenchmarkAblationPolicy(b *testing.B) { runExperiment(b, "abl-policy") }
+
+// BenchmarkAblationMemory sweeps the off-chip counter count L.
+func BenchmarkAblationMemory(b *testing.B) { runExperiment(b, "abl-mem") }
+
+// --- Hot-path micro-benchmarks ----------------------------------------------
+
+// BenchmarkSketchObserve measures the per-packet construction cost through
+// the public API (cache hit dominated, like real traffic).
+func BenchmarkSketchObserve(b *testing.B) {
+	sk, err := New(Config{Counters: 1 << 16, CacheEntries: 1 << 12, CacheCapacity: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Observe(FlowID(i & 1023))
+	}
+}
+
+// BenchmarkSketchObserveChurn measures the construction cost under heavy
+// cache pressure (constant new flows).
+func BenchmarkSketchObserveChurn(b *testing.B) {
+	sk, err := New(Config{Counters: 1 << 16, CacheEntries: 1 << 10, CacheCapacity: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Observe(FlowID(i))
+	}
+}
+
+// BenchmarkEstimateCSM measures the query-phase moment estimator.
+func BenchmarkEstimateCSM(b *testing.B) {
+	sk, err := New(Config{Counters: 1 << 16, CacheEntries: 1 << 12, CacheCapacity: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		sk.Observe(FlowID(i % 5000))
+	}
+	est := sk.Estimator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Estimate(FlowID(i%5000), CSM)
+	}
+}
+
+// BenchmarkWindowRotate measures epoch sealing in the sliding window.
+func BenchmarkWindowRotate(b *testing.B) {
+	w, err := NewWindow(4, Config{Counters: 1 << 12, CacheEntries: 256, CacheCapacity: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			w.Observe(FlowID(j))
+		}
+		if err := w.Rotate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerge measures folding one flushed sketch into another.
+func BenchmarkMerge(b *testing.B) {
+	cfg := Config{Counters: 1 << 14, CacheEntries: 256, CacheCapacity: 32, Seed: 1}
+	dst, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst.Flush()
+	src, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		src.Observe(FlowID(i % 100))
+	}
+	src.Flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Merge(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateMLM measures the query-phase ML estimator.
+func BenchmarkEstimateMLM(b *testing.B) {
+	sk, err := New(Config{Counters: 1 << 16, CacheEntries: 1 << 12, CacheCapacity: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		sk.Observe(FlowID(i % 5000))
+	}
+	est := sk.Estimator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = est.Estimate(FlowID(i%5000), MLM)
+	}
+}

@@ -1,0 +1,248 @@
+package caesar
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Counters:      4096,
+		CacheEntries:  512,
+		CacheCapacity: 32,
+		Seed:          1,
+	}
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	sk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 1234, DstPort: 80, Proto: 6}
+	const x = 500
+	for i := 0; i < x; i++ {
+		sk.ObservePacket(ft)
+	}
+	if sk.NumPackets() != x {
+		t.Fatalf("NumPackets = %d", sk.NumPackets())
+	}
+	est := sk.Estimator()
+	got := est.Estimate(ft.ID(), CSM)
+	if math.Abs(got-x) > 1 {
+		t.Fatalf("CSM = %v, want ~%d", got, x)
+	}
+	if mlm := est.Estimate(ft.ID(), MLM); math.Abs(mlm-x) > 0.1*x {
+		t.Fatalf("MLM = %v, want ~%d", mlm, x)
+	}
+}
+
+func TestPublicConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config should be rejected")
+	}
+	if _, err := New(Config{Counters: 2, CacheEntries: 4, CacheCapacity: 4, K: 3}); err == nil {
+		t.Fatal("L < K should be rejected")
+	}
+}
+
+func TestPublicDefaults(t *testing.T) {
+	sk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Observe(7)
+	st := sk.Stats()
+	if st.Packets != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.CacheKB <= 0 || st.SRAMKB <= 0 {
+		t.Fatalf("memory accounting: %+v", st)
+	}
+}
+
+func TestIntervalContainsTruthForIsolatedFlow(t *testing.T) {
+	sk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		sk.Observe(42)
+	}
+	est := sk.Estimator()
+	size, iv := est.EstimateWithInterval(42, 0.95)
+	if !iv.Contains(size) {
+		t.Fatal("interval excludes its own estimate")
+	}
+	if !iv.Contains(1000) {
+		t.Fatalf("interval %+v excludes the true size 1000 (est %v)", iv, size)
+	}
+	size2, iv2 := est.MLMInterval(42, 0.95)
+	if !iv2.Contains(size2) {
+		t.Fatal("MLM interval excludes its own estimate")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	sk, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := FlowID(0); f < 100; f++ {
+		for i := 0; i <= int(f); i++ {
+			sk.Observe(f)
+		}
+	}
+	live := sk.Estimator()
+
+	var buf bytes.Buffer
+	if err := sk.WriteCounters(&buf); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := ReadEstimator(&buf, cfg.K, cfg.Seed, cfg.CacheCapacity, sk.NumPackets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := FlowID(0); f < 100; f++ {
+		if live.Estimate(f, CSM) != offline.Estimate(f, CSM) {
+			t.Fatalf("flow %d: live/offline mismatch", f)
+		}
+	}
+}
+
+func TestReadEstimatorBadInput(t *testing.T) {
+	if _, err := ReadEstimator(bytes.NewReader([]byte("garbage data")), 3, 1, 32, 100); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestSetDistributionWidensIntervals(t *testing.T) {
+	sk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		sk.Observe(FlowID(i % 200))
+	}
+	est := sk.Estimator()
+	_, narrow := est.EstimateWithInterval(5, 0.95)
+	est.SetDistribution(200, 50*50*4)
+	_, wide := est.EstimateWithInterval(5, 0.95)
+	if wide.Width() <= narrow.Width() {
+		t.Fatalf("distribution knowledge did not widen the interval: %v vs %v",
+			wide.Width(), narrow.Width())
+	}
+}
+
+func TestRandomPolicyAccepted(t *testing.T) {
+	cfg := testConfig()
+	cfg.Policy = Random
+	cfg.CacheEntries = 8
+	sk, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		sk.Observe(FlowID(i % 100))
+	}
+	sk.Flush()
+	st := sk.Stats()
+	if st.PressureEvictions == 0 {
+		t.Fatal("expected pressure evictions with an 8-entry cache")
+	}
+}
+
+func TestMemoryHelpers(t *testing.T) {
+	if math.Abs(CounterMemoryKB(37500, 20)-91.55) > 0.1 {
+		t.Errorf("CounterMemoryKB(37500, 20) = %v", CounterMemoryKB(37500, 20))
+	}
+	if CacheMemoryKB(1000, 64) <= 0 {
+		t.Error("CacheMemoryKB must be positive")
+	}
+}
+
+func TestFlushIdempotentPublic(t *testing.T) {
+	sk, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Observe(1)
+	sk.Flush()
+	sk.Flush()
+	if got := sk.Estimator().Estimate(1, CSM); math.Abs(got-1) > 0.01 {
+		t.Fatalf("estimate after double flush = %v", got)
+	}
+}
+
+func TestPublicVolumeCounting(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheCapacity = 100000 // byte-scale capacity
+	sk, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for i := 0; i < 1000; i++ {
+		b := uint64(64 + i%1400)
+		sk.Add(42, b)
+		total += b
+	}
+	est := sk.Estimator()
+	if got := est.Estimate(42, CSM); math.Abs(got-float64(total)) > float64(total)/100 {
+		t.Fatalf("volume estimate = %v, want ~%d", got, total)
+	}
+}
+
+func TestMergeDistributedSketches(t *testing.T) {
+	cfg := testConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Site A sees 300 packets of flow 9, site B sees 500 more (plus some
+	// local-only flows at each site).
+	for i := 0; i < 300; i++ {
+		a.Observe(9)
+		a.Observe(FlowID(1000 + i%10))
+	}
+	for i := 0; i < 500; i++ {
+		b.Observe(9)
+		b.Observe(FlowID(2000 + i%10))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumPackets(); got != 1600 {
+		t.Fatalf("merged packet count = %d, want 1600", got)
+	}
+	est := a.Estimator()
+	if got := est.Estimate(9, CSM); math.Abs(got-800) > 0.02*800 {
+		t.Fatalf("merged estimate = %v, want ~800", got)
+	}
+	// Site-local flows survive the merge too.
+	if got := est.Estimate(2003, CSM); math.Abs(got-50) > 5 {
+		t.Fatalf("site-B flow estimate = %v, want ~50", got)
+	}
+}
+
+func TestMergeRejectsMismatchedConfigs(t *testing.T) {
+	a, _ := New(testConfig())
+	other := testConfig()
+	other.Seed = 999 // different hash mapping: merging would be nonsense
+	b, _ := New(other)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched configs merged")
+	}
+	small := testConfig()
+	small.Counters = 2048
+	c, _ := New(small)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched shapes merged")
+	}
+}

@@ -1,0 +1,236 @@
+// Command caesar-sim runs one measurement scheme over a CTR1 trace file
+// with explicit parameters and reports its accuracy — the single-run
+// counterpart of caesar-bench's full sweeps.
+//
+// Usage:
+//
+//	caesar-sim -scheme caesar|rcs|case|vhc|braids|sampling -trace trace.ctr1 [flags]
+//
+// Common flags: -k, -l, -bits, -cache-entries, -cache-cap, -policy, -seed.
+// RCS adds -loss (also reused as the rate for -scheme sampling); CASE uses
+// -bits as its per-counter width directly; vhc uses -l registers and -k
+// virtual vector length; braids uses -l first-layer counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/braids"
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/caseest"
+	"github.com/caesar-sketch/caesar/internal/core"
+	"github.com/caesar-sketch/caesar/internal/expt"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/rcs"
+	"github.com/caesar-sketch/caesar/internal/sampling"
+	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
+	"github.com/caesar-sketch/caesar/internal/vhc"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "caesar", "measurement scheme: caesar, rcs, or case")
+		tracePath = flag.String("trace", "", "CTR1 trace file (required)")
+		k         = flag.Int("k", 3, "mapped counters per flow")
+		l         = flag.Int("l", 0, "off-chip counters (default: Q/27, the paper ratio)")
+		bits      = flag.Int("bits", 20, "counter width in bits")
+		entries   = flag.Int("cache-entries", 0, "cache entries M (default: Q/7)")
+		capY      = flag.Uint64("cache-cap", 0, "cache entry capacity y (default: 2*mean)")
+		policy    = flag.String("policy", "lru", "cache replacement: lru or random")
+		seed      = flag.Uint64("seed", 1, "scheme seed")
+		loss      = flag.Float64("loss", 0, "RCS packet loss rate in [0,1)")
+		method    = flag.String("method", "csm", "estimation method: csm or mlm")
+	)
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+	tr, err := loadTrace(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	q := tr.NumFlows()
+	if *l == 0 {
+		*l = q / 27
+		if *l < *k {
+			*l = *k
+		}
+	}
+	if *entries == 0 {
+		*entries = q / 7
+		if *entries < 1 {
+			*entries = 1
+		}
+	}
+	if *capY == 0 {
+		*capY = uint64(2 * tr.MeanFlowSize())
+		if *capY < 2 {
+			*capY = 2
+		}
+	}
+	pol := cache.LRU
+	if *policy == "random" {
+		pol = cache.Random
+	}
+
+	fmt.Printf("trace: %s\n", tr.Summarize())
+	var pts []stats.EstimatePoint
+	switch *scheme {
+	case "caesar":
+		s, err := core.New(core.Config{
+			K: *k, L: *l, CounterBits: *bits,
+			CacheEntries: *entries, CacheCapacity: *capY,
+			Policy: pol, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		e := s.Estimator()
+		m := core.CSMMethod
+		if *method == "mlm" {
+			m = core.MLMMethod
+		}
+		for id, actual := range tr.Truth {
+			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.Estimate(id, m)})
+		}
+		cs := s.CacheStats()
+		fmt.Printf("caesar: L=%d M=%d y=%d hits=%d misses=%d evictions=%d+%d+%d sramWrites=%d\n",
+			*l, *entries, *capY, cs.Hits, cs.Misses,
+			cs.OverflowEvictions, cs.PressureEvictions, cs.FlushEvictions, s.SRAM().Writes())
+	case "rcs":
+		s, err := rcs.New(rcs.Config{K: *k, L: *l, CounterBits: *bits, Seed: *seed, LossRate: *loss})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		e := s.Estimator()
+		for id, actual := range tr.Truth {
+			if *method == "mlm" {
+				pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.MLM(id)})
+			} else {
+				pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.CSM(id)})
+			}
+		}
+		fmt.Printf("rcs: L=%d recorded=%d dropped=%d (loss %.3f)\n",
+			*l, s.Recorded(), s.Dropped(), float64(s.Dropped())/float64(tr.NumPackets()))
+	case "case":
+		s, err := caseest.New(caseest.Config{
+			L: q, CounterBits: *bits, MaxFlowSize: 1e6,
+			CacheEntries: *entries, CacheCapacity: *capY,
+			Policy: pol, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		s.Flush()
+		for id, actual := range tr.Truth {
+			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(id)})
+		}
+		fmt.Printf("case: L=%d bits=%d maxRepresentable=%.1f powOps=%d sramWrites=%d\n",
+			q, *bits, s.MaxRepresentable(), s.PowOps(), s.SRAMWrites())
+	case "vhc":
+		s, err := vhc.New(vhc.Config{Registers: *l, S: *k, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		flows := make([]hashing.FlowID, 0, q)
+		for id := range tr.Truth {
+			flows = append(flows, id)
+		}
+		ests := s.EstimateMany(flows)
+		for i, id := range flows {
+			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: ests[i]})
+		}
+		fmt.Printf("vhc: m=%d s=%d saturations=%d (%.2f KB)\n",
+			*l, *k, s.Saturations(), s.MemoryKB())
+	case "braids":
+		s, err := braids.New(braids.Config{
+			Layer1Counters: *l, Layer2Counters: *l / 8, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		flows := make([]hashing.FlowID, 0, q)
+		for id := range tr.Truth {
+			flows = append(flows, id)
+		}
+		res := s.Decode(flows, 40)
+		for i, id := range flows {
+			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: res.Estimates[i]})
+		}
+		fmt.Printf("braids: l1=%d l2=%d converged=%v iters=%d (%.2f KB)\n",
+			*l, *l/8, res.Converged, res.Iterations, s.MemoryKB())
+	case "sampling":
+		rate := *loss // reuse the flag: sampling rate
+		if rate <= 0 {
+			rate = 0.01
+		}
+		s, err := sampling.New(sampling.Config{Rate: rate, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		for id, actual := range tr.Truth {
+			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(id)})
+		}
+		fmt.Printf("sampling: rate=%.4f sampled=%d tableKB=%.1f\n",
+			rate, s.Sampled(), s.MemoryKB())
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	acc := expt.MeasureAccuracy(*scheme+"/"+*method, pts, 10*tr.MeanFlowSize())
+	fmt.Println(expt.Table(expt.AccuracyRows([]expt.Accuracy{acc})))
+	fmt.Println("error vs actual flow size:")
+	fmt.Println(expt.Table(expt.BucketRows(acc)))
+}
+
+// loadTrace reads either a CTR1 trace or a libpcap capture, sniffed by
+// extension first and then by magic.
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".pcap") || strings.HasSuffix(path, ".cap") {
+		tr, _, err := trace.FromPcap(f)
+		return tr, err
+	}
+	tr, err := trace.Read(f)
+	if err == trace.ErrBadMagic {
+		if _, seekErr := f.Seek(0, 0); seekErr == nil {
+			if tr2, _, pErr := trace.FromPcap(f); pErr == nil {
+				return tr2, nil
+			}
+		}
+	}
+	return tr, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caesar-sim:", err)
+	os.Exit(1)
+}

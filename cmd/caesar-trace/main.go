@@ -1,0 +1,198 @@
+// Command caesar-trace generates and inspects synthetic packet traces in
+// the repository's CTR1 format — the stand-in for the paper's backbone
+// capture (Section 6.1).
+//
+// Usage:
+//
+//	caesar-trace gen    -flows N [-seed S] [-dist zipf|pareto|geom|paper] [-o trace.ctr1]
+//	caesar-trace info   trace.ctr1
+//	caesar-trace top    -n 10 trace.ctr1
+//	caesar-trace import -o trace.ctr1 capture.pcap
+//	caesar-trace export -o capture.pcap trace.ctr1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/caesar-sketch/caesar/internal/dist"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "top":
+		top(os.Args[2:])
+	case "import":
+		importPcap(os.Args[2:])
+	case "export":
+		exportPcap(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  caesar-trace gen    -flows N [-seed S] [-dist zipf|pareto|geom|paper] [-o trace.ctr1]
+  caesar-trace info   trace.ctr1
+  caesar-trace top    [-n 10] trace.ctr1
+  caesar-trace import [-o trace.ctr1] capture.pcap
+  caesar-trace export [-o capture.pcap] trace.ctr1`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "caesar-trace:", err)
+	os.Exit(1)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	flows := fs.Int("flows", 100000, "number of distinct flows (Q)")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	distName := fs.String("dist", "paper", "flow size distribution: zipf, pareto, geom, or paper")
+	out := fs.String("o", "trace.ctr1", "output path")
+	_ = fs.Parse(args)
+
+	var sizes dist.Distribution
+	var err error
+	switch *distName {
+	case "paper":
+		sizes = trace.DefaultSizes()
+	case "zipf":
+		sizes, err = dist.NewZipf(1.8, 100000)
+	case "pareto":
+		sizes, err = dist.NewBoundedPareto(1.3, 100000)
+	case "geom":
+		sizes, err = dist.NewGeometric(1/trace.PaperMeanFlowSize, 10000)
+	default:
+		err = fmt.Errorf("unknown distribution %q", *distName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	tr, err := trace.Generate(trace.GenConfig{Flows: *flows, Seed: *seed, Sizes: sizes})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, tr.Summarize())
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	return tr
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := load(fs.Arg(0))
+	fmt.Println(tr.Summarize())
+	fmt.Println("flow-size CCDF:")
+	ccdf := dist.CCDF(tr.FlowSizes())
+	step := len(ccdf)/15 + 1
+	for i := 0; i < len(ccdf); i += step {
+		p := ccdf[i]
+		fmt.Printf("  P(size >= %6d) = %.5f (%d flows)\n", p.Size, p.Tail, p.Count)
+	}
+}
+
+func importPcap(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	out := fs.String("o", "trace.ctr1", "output CTR1 path")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, st, err := trace.FromPcap(f)
+	if err != nil {
+		fatal(err)
+	}
+	o, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer o.Close()
+	if err := tr.Write(o); err != nil {
+		fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("imported %s -> %s: %s\n", fs.Arg(0), *out, tr.Summarize())
+	fmt.Printf("pcap: %d records, %d parsed, skipped %d non-IP / %d fragments / %d transport / %d truncated\n",
+		st.Records, st.Parsed, st.SkippedNonIP, st.SkippedFragments,
+		st.SkippedTransport, st.SkippedTruncated)
+}
+
+func exportPcap(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "capture.pcap", "output pcap path")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := load(fs.Arg(0))
+	o, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer o.Close()
+	if err := tr.WritePcap(o); err != nil {
+		fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("exported %s -> %s (%d packets)\n", fs.Arg(0), *out, tr.NumPackets())
+}
+
+func top(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	n := fs.Int("n", 10, "number of flows to show")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tr := load(fs.Arg(0))
+	for i, id := range tr.TopFlows(*n) {
+		fmt.Printf("%3d. flow %016x  %d packets\n", i+1, uint64(id), tr.Truth[id])
+	}
+}

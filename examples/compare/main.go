@@ -1,0 +1,101 @@
+// Compare: CAESAR vs CASE vs RCS side by side on one synthetic backbone
+// trace — a miniature of the paper's Section 6 evaluation.
+//
+// This example reaches into the repository's internal packages for the
+// baseline implementations and the trace generator (they are substrates of
+// the reproduction, not part of the public API).
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/caseest"
+	"github.com/caesar-sketch/caesar/internal/core"
+	"github.com/caesar-sketch/caesar/internal/expt"
+	"github.com/caesar-sketch/caesar/internal/rcs"
+	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+const (
+	flows = 20000
+	seed  = 5
+)
+
+func main() {
+	tr, err := trace.Generate(trace.GenConfig{Flows: flows, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %s\n\n", tr.Summarize())
+
+	y := uint64(2 * tr.MeanFlowSize())
+	l := flows / 4 // shared-counter budget for CAESAR and RCS
+	m := flows / 8 // cache entries for the cache-assisted schemes
+	largeCut := 10 * tr.MeanFlowSize()
+	var accs []expt.Accuracy
+
+	// CAESAR.
+	cs, err := core.New(core.Config{
+		K: 3, L: l, CacheEntries: m, CacheCapacity: y,
+		Policy: cache.LRU, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range tr.Packets {
+		cs.Observe(p.Flow)
+	}
+	est := cs.Estimator()
+	accs = append(accs, measure("CAESAR/CSM", tr, func(id trace.Packet) float64 {
+		return est.CSM(id.Flow)
+	}, largeCut))
+
+	// RCS, lossless and at the paper's two loss rates.
+	for _, loss := range []float64{0, 2.0 / 3, 9.0 / 10} {
+		rs, err := rcs.New(rcs.Config{K: 3, L: l, Seed: seed, LossRate: loss})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range tr.Packets {
+			rs.Observe(p.Flow)
+		}
+		re := rs.Estimator()
+		accs = append(accs, measure(fmt.Sprintf("RCS/loss=%.2f", loss), tr,
+			func(p trace.Packet) float64 { return re.CSM(p.Flow) }, largeCut))
+	}
+
+	// CASE with ~1.5 bits per counter (the paper's 183 KB regime scaled).
+	cse, err := caseest.New(caseest.Config{
+		L: flows, CounterBits: 1, MaxFlowSize: 1e6,
+		CacheEntries: m, CacheCapacity: y, Policy: cache.LRU, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range tr.Packets {
+		cse.Observe(p.Flow)
+	}
+	cse.Flush()
+	accs = append(accs, measure("CASE/1-bit", tr,
+		func(p trace.Packet) float64 { return cse.Estimate(p.Flow) }, largeCut))
+
+	fmt.Println(expt.Table(expt.AccuracyRows(accs)))
+	fmt.Println("reading guide: ARE(elephant) is the regime the paper's headline numbers")
+	fmt.Println("describe — CAESAR tracks truth, lossy RCS errs by its loss rate, CASE collapses.")
+}
+
+func measure(label string, tr *trace.Trace, estimate func(trace.Packet) float64, largeCut float64) expt.Accuracy {
+	pts := make([]stats.EstimatePoint, 0, tr.NumFlows())
+	for id, actual := range tr.Truth {
+		pts = append(pts, stats.EstimatePoint{
+			Actual:    actual,
+			Estimated: estimate(trace.Packet{Flow: id}),
+		})
+	}
+	return expt.MeasureAccuracy(label, pts, largeCut)
+}

@@ -1,0 +1,79 @@
+// Monitoring: continuous per-flow measurement with a sliding window of
+// epochs — a long-running collector that answers "how big was this flow
+// over the last N intervals?" while traffic keeps arriving.
+//
+// A Window of 4 epochs ingests 10 simulated intervals of traffic. One flow
+// ramps up mid-run (a building hotspot); the report after every rotation
+// shows its windowed estimate tracking the ramp and then decaying as the
+// hot epochs slide out.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/caesar-sketch/caesar"
+)
+
+const (
+	windowEpochs = 4
+	totalEpochs  = 10
+	background   = 2000 // background flows per epoch
+)
+
+func main() {
+	w, err := caesar.NewWindow(windowEpochs, caesar.Config{
+		Counters:      1 << 13,
+		CacheEntries:  1 << 10,
+		CacheCapacity: 32,
+		Seed:          8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hot := caesar.FiveTuple{SrcIP: 0x0a0a0a0a, DstIP: 0x0b0b0b0b, SrcPort: 5000, DstPort: 443, Proto: 6}.ID()
+	rng := rand.New(rand.NewSource(21))
+
+	// Hot flow's per-epoch packet schedule: quiet, then a burst, then gone.
+	schedule := []int{50, 50, 50, 2000, 4000, 4000, 50, 50, 50, 50}
+	var truthWindow []int // actual per-epoch counts, for the report
+
+	fmt.Printf("sliding window of %d epochs; hot flow bursts in epochs 4-6\n\n", windowEpochs)
+	fmt.Println("epoch  hot pkts  window actual  window estimate  95% interval")
+	for epoch := 0; epoch < totalEpochs; epoch++ {
+		// Background traffic: fresh flows each epoch.
+		for f := 0; f < background; f++ {
+			id := caesar.FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(1 << 16)), DstPort: 80, Proto: 6,
+			}.ID()
+			for p := 0; p < 1+rng.Intn(30); p++ {
+				w.Observe(id)
+			}
+		}
+		// The hot flow's scheduled load.
+		for p := 0; p < schedule[epoch]; p++ {
+			w.Observe(hot)
+		}
+
+		if err := w.Rotate(); err != nil {
+			log.Fatal(err)
+		}
+		truthWindow = append(truthWindow, schedule[epoch])
+		if len(truthWindow) > windowEpochs {
+			truthWindow = truthWindow[1:]
+		}
+		actual := 0
+		for _, c := range truthWindow {
+			actual += c
+		}
+		est, iv := w.EstimateWithInterval(hot, 0.95)
+		fmt.Printf("%5d  %8d  %13d  %15.0f  [%.0f, %.0f]\n",
+			epoch+1, schedule[epoch], actual, est, iv.Lo, iv.Hi)
+	}
+	fmt.Println("\nthe estimate ramps with the burst and decays as hot epochs slide out")
+}

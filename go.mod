@@ -1,0 +1,3 @@
+module github.com/caesar-sketch/caesar
+
+go 1.22

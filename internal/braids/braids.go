@@ -1,0 +1,422 @@
+// Package braids implements Counter Braids (Lu et al., ACM SIGMETRICS
+// 2008), the two-layer shared-counter architecture the paper's related-work
+// section positions CAESAR against (Section 2.1): every packet increments
+// all k1 of its flow's layer-1 counters; layer-1 counters are shallow and
+// "braid" their overflows into a small second layer; and per-flow sizes are
+// recovered offline by iterative message passing over the counter graph.
+//
+// Counter Braids decodes *exactly* when the load is low enough (≳ 4–5 bits
+// per flow, matching the paper's "each flow needs more than 4 bits"
+// remark) and collapses sharply below that — the storage/accuracy cliff the
+// abl-braids experiment contrasts with CAESAR's graceful degradation.
+package braids
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Config parameterizes a Counter Braids sketch.
+type Config struct {
+	// Layer1Counters and Layer1Bits shape the first layer.
+	Layer1Counters int
+	Layer1Bits     int
+	// Layer2Counters and Layer2Bits shape the overflow layer.
+	Layer2Counters int
+	Layer2Bits     int
+	// K1 is the number of layer-1 counters per flow (paper: 3).
+	K1 int
+	// K2 is the number of layer-2 counters per layer-1 counter.
+	K2 int
+	// Seed drives both hash layers.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K1 == 0 {
+		c.K1 = 3
+	}
+	if c.K2 == 0 {
+		c.K2 = 3
+	}
+	if c.Layer1Bits == 0 {
+		c.Layer1Bits = 8
+	}
+	if c.Layer2Bits == 0 {
+		c.Layer2Bits = 56
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Layer1Counters < c.K1 || c.K1 < 1 {
+		return fmt.Errorf("braids: need Layer1Counters >= K1 >= 1, got %d/%d", c.Layer1Counters, c.K1)
+	}
+	if c.Layer2Counters < c.K2 || c.K2 < 1 {
+		return fmt.Errorf("braids: need Layer2Counters >= K2 >= 1, got %d/%d", c.Layer2Counters, c.K2)
+	}
+	if c.Layer1Bits < 1 || c.Layer1Bits > 32 {
+		return fmt.Errorf("braids: Layer1Bits must be in [1,32], got %d", c.Layer1Bits)
+	}
+	if c.Layer2Bits < 1 || c.Layer2Bits > 62 {
+		return fmt.Errorf("braids: Layer2Bits must be in [1,62], got %d", c.Layer2Bits)
+	}
+	return nil
+}
+
+// Sketch is a Counter Braids instance in its online phase.
+type Sketch struct {
+	cfg  Config
+	l1   []uint32 // stored low bits, wrap at 2^Layer1Bits
+	l2   []uint64 // overflow layer, saturating
+	sel1 *hashing.KSelector
+	sel2 *hashing.KSelector
+
+	idx1, idx2 []uint32
+	packets    uint64
+	l2sat      int
+}
+
+// New builds a sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		cfg:  cfg,
+		l1:   make([]uint32, cfg.Layer1Counters),
+		l2:   make([]uint64, cfg.Layer2Counters),
+		sel1: hashing.NewKSelector(cfg.K1, cfg.Layer1Counters, cfg.Seed),
+		sel2: hashing.NewKSelector(cfg.K2, cfg.Layer2Counters, cfg.Seed^0xb4a1d5), // braid hashes
+	}, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// NumPackets returns the packets observed.
+func (s *Sketch) NumPackets() uint64 { return s.packets }
+
+// MemoryKB returns the two layers' footprint.
+func (s *Sketch) MemoryKB() float64 {
+	return (float64(s.cfg.Layer1Counters)*float64(s.cfg.Layer1Bits) +
+		float64(s.cfg.Layer2Counters)*float64(s.cfg.Layer2Bits)) / 8192
+}
+
+// Observe processes one packet: increment all k1 layer-1 counters, braiding
+// wraps into layer 2.
+func (s *Sketch) Observe(flow hashing.FlowID) {
+	s.packets++
+	wrap := uint32(1) << s.cfg.Layer1Bits
+	s.idx1 = s.sel1.Select(flow, s.idx1[:0])
+	for _, i := range s.idx1 {
+		s.l1[i]++
+		if s.l1[i] == wrap {
+			s.l1[i] = 0
+			s.carry(i)
+		}
+	}
+}
+
+// carry braids one overflow of layer-1 counter i into its layer-2 counters.
+func (s *Sketch) carry(i uint32) {
+	cap2 := uint64(1)<<s.cfg.Layer2Bits - 1
+	s.idx2 = s.sel2.Select(hashing.FlowID(i), s.idx2[:0])
+	for _, j := range s.idx2 {
+		if s.l2[j] >= cap2 {
+			s.l2sat++
+			continue
+		}
+		s.l2[j]++
+	}
+}
+
+// Layer2Saturations reports dropped carries (layer 2 undersized).
+func (s *Sketch) Layer2Saturations() int { return s.l2sat }
+
+// --- Offline decoding -----------------------------------------------------
+
+// DecodeResult reports the message-passing outcome.
+type DecodeResult struct {
+	// Estimates holds one size per queried flow, same order as the input.
+	Estimates []float64
+	// Converged reports whether every flow's upper and lower sandwich
+	// bounds met (exact reconstruction, up to layer-2 decode).
+	Converged bool
+	// Iterations actually run.
+	Iterations int
+}
+
+// Decode recovers the sizes of the given flows by two-stage message
+// passing: first the layer-1 overflow counts from layer 2 (layer-1 counters
+// act as "flows" of layer 2), then the flow sizes from the reconstructed
+// full layer-1 values. Counter Braids needs the flow list at decode time,
+// like the paper's other per-flow schemes.
+func (s *Sketch) Decode(flows []hashing.FlowID, maxIter int) DecodeResult {
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	// Stage 1: reconstruct layer-1 overflow counts from layer 2. Only
+	// counters that can have overflowed matter; with Observe wrapping at
+	// 2^b, any l1 counter may have overflowed, so all participate with
+	// lower bound 0.
+	l1ids := make([]int64, len(s.l1))
+	for i := range l1ids {
+		l1ids[i] = int64(i)
+	}
+	vals2 := make([]int64, len(s.l2))
+	for j, v := range s.l2 {
+		vals2[j] = int64(v)
+	}
+	over, _, _ := decodeLayer(l1ids, vals2, len(s.l2), s.sel2, 0, maxIter)
+
+	// Full layer-1 values = stored low bits + 2^b × decoded overflows.
+	full := make([]int64, len(s.l1))
+	for i, low := range s.l1 {
+		full[i] = int64(low) + over[i]<<s.cfg.Layer1Bits
+	}
+
+	// Stage 2: decode flows against the reconstructed layer-1 values.
+	fids := make([]int64, len(flows))
+	for i, f := range flows {
+		fids[i] = int64(f)
+	}
+	est, converged, iters := decodeLayer(fids, full, len(s.l1), s.sel1, 1, maxIter)
+	out := DecodeResult{
+		Estimates:  make([]float64, len(flows)),
+		Converged:  converged,
+		Iterations: iters,
+	}
+	for i, e := range est {
+		out.Estimates[i] = float64(e)
+	}
+	return out
+}
+
+// decodeLayer runs the Counter Braids sandwich decoder for one layer:
+// variable nodes `ids` (hashed through sel), check nodes with values
+// `vals`, and a per-variable lower bound (1 for flows, 0 for overflow
+// counts).
+//
+// The decoder maintains monotone two-sided per-edge bounds: an upper
+// message toward a counter is refined from the *lower* claims of the
+// counter's other members (μ_hi = V_c − Σ lo), and a lower message from
+// their *upper* claims (μ_lo = V_c − Σ hi), each pass only tightening its
+// side. On decodable loads the sandwich closes (lo == hi everywhere) and
+// reconstruction is exact — Lu et al.'s Theorem 2 regime; under overload it
+// stalls and the midpoint is returned. Returns the estimates, whether the
+// sandwich closed, and the passes used.
+func decodeLayer(ids []int64, vals []int64, numCounters int, sel *hashing.KSelector, lowerBound int64, maxIter int) ([]int64, bool, int) {
+	k := sel.K()
+	n := len(ids)
+	type member struct {
+		v    int32
+		slot int8
+	}
+	members := make([][]member, numCounters)
+	varCounters := make([][]uint32, n)
+	buf := make([]uint32, 0, k)
+	for v, id := range ids {
+		buf = sel.Select(hashing.FlowID(id), buf[:0])
+		varCounters[v] = append([]uint32(nil), buf...)
+		for slot, c := range buf {
+			members[c] = append(members[c], member{int32(v), int8(slot)})
+		}
+	}
+
+	// Per-edge bounds lo/hi[v][slot] on the variable's value, as claimed
+	// toward its slot-th counter.
+	const inf = int64(math.MaxInt64) / 4
+	lo := make([][]int64, n)
+	hi := make([][]int64, n)
+	muHi := make([][]int64, n)
+	muLo := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		lo[v] = make([]int64, k)
+		hi[v] = make([]int64, k)
+		muHi[v] = make([]int64, k)
+		muLo[v] = make([]int64, k)
+		for j := 0; j < k; j++ {
+			lo[v][j] = lowerBound
+			hi[v][j] = inf
+		}
+	}
+
+	iters := 0
+	converged := false
+	for t := 1; t <= maxIter; t++ {
+		iters = t
+		changed := false
+
+		// Upper pass: μ_hi[c→v] = V_c − Σ_{others} lo, then tighten each
+		// outgoing hi to the min over the variable's other incoming μ_hi.
+		for c, ms := range members {
+			var sum int64
+			for _, m := range ms {
+				sum += lo[m.v][m.slot]
+			}
+			for _, m := range ms {
+				msg := vals[c] - (sum - lo[m.v][m.slot])
+				if msg < lowerBound {
+					msg = lowerBound
+				}
+				muHi[m.v][m.slot] = msg
+			}
+		}
+		for v := 0; v < n; v++ {
+			for j := 0; j < k; j++ {
+				best := inf
+				for j2 := 0; j2 < k; j2++ {
+					if j2 == j && k > 1 {
+						continue
+					}
+					if muHi[v][j2] < best {
+						best = muHi[v][j2]
+					}
+				}
+				if best < hi[v][j] {
+					hi[v][j] = best
+					changed = true
+				}
+			}
+		}
+
+		// Lower pass: μ_lo[c→v] = V_c − Σ_{others} hi, then raise each
+		// outgoing lo to the max over the variable's other incoming μ_lo.
+		for c, ms := range members {
+			var sum int64
+			saturatedSum := false
+			for _, m := range ms {
+				if hi[m.v][m.slot] >= inf {
+					saturatedSum = true
+					break
+				}
+				sum += hi[m.v][m.slot]
+			}
+			for _, m := range ms {
+				msg := lowerBound
+				if !saturatedSum {
+					msg = vals[c] - (sum - hi[m.v][m.slot])
+					if msg < lowerBound {
+						msg = lowerBound
+					}
+				}
+				muLo[m.v][m.slot] = msg
+			}
+		}
+		for v := 0; v < n; v++ {
+			for j := 0; j < k; j++ {
+				best := lowerBound
+				for j2 := 0; j2 < k; j2++ {
+					if j2 == j && k > 1 {
+						continue
+					}
+					if muLo[v][j2] > best {
+						best = muLo[v][j2]
+					}
+				}
+				if best > lo[v][j] {
+					lo[v][j] = best
+					changed = true
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	// Per-variable sandwich bounds use ALL incoming messages.
+	loV := make([]int64, n)
+	hiV := make([]int64, n)
+	for v := 0; v < n; v++ {
+		hiV[v], loV[v] = inf, lowerBound
+		for j := 0; j < k; j++ {
+			if muHi[v][j] < hiV[v] {
+				hiV[v] = muHi[v][j]
+			}
+			if muLo[v][j] > loV[v] {
+				loV[v] = muLo[v][j]
+			}
+		}
+		if hiV[v] >= inf || hiV[v] < loV[v] {
+			hiV[v] = loV[v]
+		}
+	}
+
+	// Peeling refinement: a counter whose members are all resolved except
+	// one pins that one exactly (the counter value is an exact sum). This
+	// closes the finite-size gaps the message sandwich leaves on loopy
+	// graphs.
+	resolved := make([]bool, n)
+	residual := make([]int64, numCounters)
+	unresolvedCnt := make([]int32, numCounters)
+	copy(residual, vals)
+	for c, ms := range members {
+		unresolvedCnt[c] = int32(len(ms))
+		_ = c
+	}
+	var queue []uint32
+	resolve := func(v int, val int64) {
+		// Feasibility clamp: the value must fit every counter of v after
+		// leaving each unresolved co-member at least the lower bound.
+		// Consistent counters are unaffected; inconsistent ones (e.g. a
+		// mis-decoded overflow upstream) have their damage contained
+		// instead of cascading through the peel.
+		for _, c := range varCounters[v] {
+			room := residual[c] - int64(unresolvedCnt[c]-1)*lowerBound
+			if val > room {
+				val = room
+			}
+		}
+		if val < lowerBound {
+			val = lowerBound
+		}
+		resolved[v] = true
+		loV[v], hiV[v] = val, val
+		for _, c := range varCounters[v] {
+			residual[c] -= val
+			unresolvedCnt[c]--
+			if unresolvedCnt[c] == 1 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if loV[v] == hiV[v] {
+			resolve(v, loV[v])
+		}
+	}
+	for c := range members {
+		if unresolvedCnt[c] == 1 {
+			queue = append(queue, uint32(c))
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if unresolvedCnt[c] != 1 {
+			continue
+		}
+		for _, m := range members[c] {
+			if !resolved[m.v] {
+				resolve(int(m.v), residual[c])
+				break
+			}
+		}
+	}
+
+	out := make([]int64, n)
+	converged = true
+	for v := 0; v < n; v++ {
+		if loV[v] != hiV[v] {
+			converged = false
+		}
+		out[v] = (hiV[v] + loV[v]) / 2
+	}
+	return out, converged, iters
+}

@@ -1,0 +1,349 @@
+// Package cache implements the on-chip flow cache of the CAESAR
+// architecture (Section 3.1): a table of M entries, each holding a flow ID
+// and a bounded count of capacity y. Two events evict an entry's value to
+// the off-chip stage:
+//
+//   - overflow: the entry's count reaches y ("fulfilled cache entry"), and
+//   - pressure: a new flow arrives while the table is full, so a victim is
+//     chosen by the replacement policy (LRU or random, both analyzed in the
+//     paper) and its partial count is evicted.
+//
+// At the end of a measurement the whole table is flushed downstream
+// (Section 3.2: "we make sure the recorded flow information of all flows in
+// the on-chip cache was dumped to the off-chip SRAM").
+//
+// The implementation is allocation-free per packet: an intrusive
+// doubly-linked LRU list over a fixed slot arena plus an occupancy vector
+// for O(1) random victim selection.
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Policy selects the replacement algorithm used under table pressure.
+type Policy int
+
+const (
+	// LRU evicts the least recently used entry.
+	LRU Policy = iota
+	// Random evicts a uniformly random occupied entry. The paper notes both
+	// choices keep the evicted value independent of the stored count, which
+	// the Section 4.2 analysis relies on.
+	Random
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Reason explains why a value was evicted.
+type Reason int
+
+const (
+	// Overflow: the entry count reached capacity y.
+	Overflow Reason = iota
+	// Pressure: the entry was the replacement victim for a new flow.
+	Pressure
+	// Flush: the measurement ended and the table was dumped.
+	Flush
+)
+
+// String names the reason for reports.
+func (r Reason) String() string {
+	switch r {
+	case Overflow:
+		return "overflow"
+	case Pressure:
+		return "pressure"
+	case Flush:
+		return "flush"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// EvictFunc receives each evicted (flow, value) pair. value is always in
+// [1, y]: zero-valued entries are recycled without notification.
+type EvictFunc func(flow hashing.FlowID, value uint64, reason Reason)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Entries is M, the number of cache entries.
+	Entries int
+	// Capacity is y, the maximum count an entry holds before overflowing.
+	Capacity uint64
+	// Policy is the replacement algorithm under pressure.
+	Policy Policy
+	// Seed drives the random replacement policy.
+	Seed uint64
+	// OnEvict receives evicted values; it must be non-nil.
+	OnEvict EvictFunc
+}
+
+// Stats are the cache's observability counters.
+type Stats struct {
+	Packets           int    // observations processed
+	Hits              int    // packets that found their flow cached
+	Misses            int    // packets that started a new entry
+	OverflowEvictions int    // evictions due to count == y
+	PressureEvictions int    // evictions due to replacement
+	FlushEvictions    int    // evictions due to Flush
+	EvictedMass       uint64 // total value pushed downstream
+}
+
+type slot struct {
+	flow       hashing.FlowID
+	count      uint64
+	prev, next int32 // intrusive LRU list; -1 terminated
+	inUse      bool
+	occPos     int32 // position in the occupancy vector
+}
+
+// Cache is the on-chip flow table. Not safe for concurrent use: the
+// hardware analogue is a single pipeline stage, and the Go port keeps the
+// same single-writer discipline (callers shard by flow if they want
+// parallelism).
+type Cache struct {
+	cfg   Config
+	slots []slot
+	index map[hashing.FlowID]int32
+	free  []int32
+	occ   []int32 // occupied slot ids, for O(1) random victim choice
+	head  int32   // most recently used
+	tail  int32   // least recently used
+	rng   *hashing.PRNG
+	stats Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Entries <= 0 {
+		return nil, fmt.Errorf("cache: Entries must be positive, got %d", cfg.Entries)
+	}
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("cache: Capacity must be >= 1, got %d", cfg.Capacity)
+	}
+	if cfg.Policy != LRU && cfg.Policy != Random {
+		return nil, fmt.Errorf("cache: unknown policy %d", cfg.Policy)
+	}
+	if cfg.OnEvict == nil {
+		return nil, fmt.Errorf("cache: OnEvict must be non-nil")
+	}
+	c := &Cache{
+		cfg:   cfg,
+		slots: make([]slot, cfg.Entries),
+		index: make(map[hashing.FlowID]int32, cfg.Entries),
+		free:  make([]int32, 0, cfg.Entries),
+		occ:   make([]int32, 0, cfg.Entries),
+		head:  -1,
+		tail:  -1,
+		rng:   hashing.NewPRNG(cfg.Seed ^ 0x5ca1ab1e),
+	}
+	for i := cfg.Entries - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c, nil
+}
+
+// Len returns the number of occupied entries.
+func (c *Cache) Len() int { return len(c.occ) }
+
+// Capacity returns y.
+func (c *Cache) Capacity() uint64 { return c.cfg.Capacity }
+
+// Entries returns M.
+func (c *Cache) Entries() int { return c.cfg.Entries }
+
+// Stats returns a copy of the observability counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Get reports the currently cached count for a flow.
+func (c *Cache) Get(flow hashing.FlowID) (uint64, bool) {
+	s, ok := c.index[flow]
+	if !ok {
+		return 0, false
+	}
+	return c.slots[s].count, true
+}
+
+// Observe processes one packet of the given flow: the hot path.
+func (c *Cache) Observe(flow hashing.FlowID) {
+	c.Add(flow, 1)
+}
+
+// Add accounts v units (v packets, or v bytes when counting flow volume)
+// to the flow, evicting full values of y downstream as needed.
+func (c *Cache) Add(flow hashing.FlowID, v uint64) {
+	if v == 0 {
+		return
+	}
+	c.stats.Packets++
+	s, ok := c.index[flow]
+	if ok {
+		c.stats.Hits++
+		c.touch(s)
+	} else {
+		c.stats.Misses++
+		s = c.allocate(flow)
+	}
+	e := &c.slots[s]
+	e.count += v
+	for e.count >= c.cfg.Capacity {
+		// Overflow: evict a fulfilled value of y and keep counting in the
+		// same entry (the flow is clearly active).
+		c.emit(flow, c.cfg.Capacity, Overflow)
+		c.stats.OverflowEvictions++
+		e.count -= c.cfg.Capacity
+	}
+}
+
+// Flush dumps every occupied entry downstream and empties the table.
+func (c *Cache) Flush() {
+	// Walk from LRU tail to head so downstream sees a deterministic order.
+	for c.tail != -1 {
+		s := c.tail
+		e := &c.slots[s]
+		if e.count > 0 {
+			c.emit(e.flow, e.count, Flush)
+			c.stats.FlushEvictions++
+		}
+		c.release(s)
+	}
+}
+
+func (c *Cache) emit(flow hashing.FlowID, value uint64, reason Reason) {
+	c.stats.EvictedMass += value
+	c.cfg.OnEvict(flow, value, reason)
+}
+
+// allocate finds a slot for a new flow, evicting a victim if necessary.
+func (c *Cache) allocate(flow hashing.FlowID) int32 {
+	var s int32
+	if len(c.free) > 0 {
+		s = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		victim := c.selectVictim()
+		ve := &c.slots[victim]
+		if ve.count > 0 {
+			c.emit(ve.flow, ve.count, Pressure)
+			c.stats.PressureEvictions++
+		}
+		c.release(victim)
+		s = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	}
+	e := &c.slots[s]
+	e.flow = flow
+	e.count = 0
+	e.inUse = true
+	e.occPos = int32(len(c.occ))
+	c.occ = append(c.occ, s)
+	c.index[flow] = s
+	c.pushFront(s)
+	return s
+}
+
+func (c *Cache) selectVictim() int32 {
+	switch c.cfg.Policy {
+	case Random:
+		return c.occ[c.rng.Intn(len(c.occ))]
+	default: // LRU
+		return c.tail
+	}
+}
+
+// release detaches slot s entirely and returns it to the free list.
+func (c *Cache) release(s int32) {
+	e := &c.slots[s]
+	delete(c.index, e.flow)
+	c.unlink(s)
+	// Swap-remove from the occupancy vector.
+	last := c.occ[len(c.occ)-1]
+	c.occ[e.occPos] = last
+	c.slots[last].occPos = e.occPos
+	c.occ = c.occ[:len(c.occ)-1]
+	e.inUse = false
+	e.count = 0
+	c.free = append(c.free, s)
+}
+
+// --- intrusive LRU list ----------------------------------------------------
+
+func (c *Cache) pushFront(s int32) {
+	e := &c.slots[s]
+	e.prev = -1
+	e.next = c.head
+	if c.head != -1 {
+		c.slots[c.head].prev = s
+	}
+	c.head = s
+	if c.tail == -1 {
+		c.tail = s
+	}
+}
+
+func (c *Cache) unlink(s int32) {
+	e := &c.slots[s]
+	if e.prev != -1 {
+		c.slots[e.prev].next = e.next
+	} else if c.head == s {
+		c.head = e.next
+	}
+	if e.next != -1 {
+		c.slots[e.next].prev = e.prev
+	} else if c.tail == s {
+		c.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+func (c *Cache) touch(s int32) {
+	if c.head == s {
+		return
+	}
+	c.unlink(s)
+	c.pushFront(s)
+}
+
+// MemoryKB returns the paper's cache size accounting (Section 6.2):
+// M * log2(y) / (1024*8) KB — the count bits only, matching how the paper
+// reports its 97.66 KB cache.
+func MemoryKB(m int, y uint64) float64 {
+	return float64(m) * math.Log2(float64(y)) / (1024 * 8)
+}
+
+// MemoryWithIDsKB returns a fuller accounting that also charges idBits per
+// entry for the stored flow identifier, for readers who want the real
+// hardware footprint rather than the paper's convention.
+func MemoryWithIDsKB(m int, y uint64, idBits int) float64 {
+	return float64(m) * (math.Log2(float64(y)) + float64(idBits)) / (1024 * 8)
+}
+
+// EntriesForBudget returns the largest M such that M entries of log2(y)
+// count bits fit in kb kilobytes (the paper's accounting).
+func EntriesForBudget(kb float64, y uint64) (int, error) {
+	if kb <= 0 {
+		return 0, fmt.Errorf("cache: budget must be positive, got %v", kb)
+	}
+	if y < 2 {
+		return 0, fmt.Errorf("cache: capacity y must be >= 2 to size entries, got %d", y)
+	}
+	m := int(kb * 1024 * 8 / math.Log2(float64(y)))
+	if m < 1 {
+		return 0, fmt.Errorf("cache: %v KB holds no entries at y=%d", kb, y)
+	}
+	return m, nil
+}

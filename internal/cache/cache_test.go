@@ -1,0 +1,437 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+type evt struct {
+	flow   hashing.FlowID
+	value  uint64
+	reason Reason
+}
+
+type recorder struct{ events []evt }
+
+func (r *recorder) evict(f hashing.FlowID, v uint64, reason Reason) {
+	r.events = append(r.events, evt{f, v, reason})
+}
+
+func (r *recorder) mass() uint64 {
+	var m uint64
+	for _, e := range r.events {
+		m += e.value
+	}
+	return m
+}
+
+func newCache(t testing.TB, m int, y uint64, p Policy, rec *recorder) *Cache {
+	t.Helper()
+	c, err := New(Config{Entries: m, Capacity: y, Policy: p, Seed: 1, OnEvict: rec.evict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	ok := func(hashing.FlowID, uint64, Reason) {}
+	cases := []Config{
+		{Entries: 0, Capacity: 4, OnEvict: ok},
+		{Entries: -1, Capacity: 4, OnEvict: ok},
+		{Entries: 4, Capacity: 0, OnEvict: ok},
+		{Entries: 4, Capacity: 4, OnEvict: nil},
+		{Entries: 4, Capacity: 4, Policy: Policy(99), OnEvict: ok},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestHitMissCounting(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 4, 100, LRU, rec)
+	c.Observe(1)
+	c.Observe(1)
+	c.Observe(2)
+	s := c.Stats()
+	if s.Packets != 3 || s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if v, ok := c.Get(1); !ok || v != 2 {
+		t.Fatalf("Get(1) = %d,%v", v, ok)
+	}
+	if _, ok := c.Get(99); ok {
+		t.Fatal("Get of absent flow returned ok")
+	}
+}
+
+func TestOverflowEviction(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 4, 3, LRU, rec) // y = 3
+	for i := 0; i < 7; i++ {
+		c.Observe(42)
+	}
+	// 7 packets at y=3: two overflow evictions of exactly 3, remainder 1.
+	if len(rec.events) != 2 {
+		t.Fatalf("events = %v", rec.events)
+	}
+	for _, e := range rec.events {
+		if e.value != 3 || e.reason != Overflow || e.flow != 42 {
+			t.Fatalf("unexpected eviction %+v", e)
+		}
+	}
+	if v, _ := c.Get(42); v != 1 {
+		t.Fatalf("remainder = %d, want 1", v)
+	}
+	if c.Stats().OverflowEvictions != 2 {
+		t.Fatalf("OverflowEvictions = %d", c.Stats().OverflowEvictions)
+	}
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 2, 100, LRU, rec)
+	c.Observe(1)
+	c.Observe(2)
+	c.Observe(1) // 1 is now MRU; 2 is LRU
+	c.Observe(3) // must evict flow 2
+	if len(rec.events) != 1 {
+		t.Fatalf("events = %v", rec.events)
+	}
+	e := rec.events[0]
+	if e.flow != 2 || e.value != 1 || e.reason != Pressure {
+		t.Fatalf("victim = %+v, want flow 2", e)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("victim still present")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("MRU flow was evicted")
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 3, 100, LRU, rec)
+	c.Observe(1)
+	c.Observe(2)
+	c.Observe(3)
+	c.Observe(1) // refresh 1; LRU order now 2,3,1
+	c.Observe(4) // evict 2
+	c.Observe(5) // evict 3
+	if len(rec.events) != 2 || rec.events[0].flow != 2 || rec.events[1].flow != 3 {
+		t.Fatalf("eviction order = %v", rec.events)
+	}
+}
+
+func TestRandomPolicyEvictsSomeone(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 8, 100, Random, rec)
+	for f := hashing.FlowID(1); f <= 8; f++ {
+		c.Observe(f)
+	}
+	c.Observe(100)
+	if len(rec.events) != 1 {
+		t.Fatalf("events = %v", rec.events)
+	}
+	if rec.events[0].reason != Pressure {
+		t.Fatalf("reason = %v", rec.events[0].reason)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", c.Len())
+	}
+}
+
+func TestRandomPolicyIsRoughlyUniform(t *testing.T) {
+	// Insert flows 1..M, then cause many pressure evictions from fresh
+	// flows and count how often each original slot is victimized early.
+	const m = 16
+	victims := make(map[hashing.FlowID]int)
+	for trial := 0; trial < 2000; trial++ {
+		rec := &recorder{}
+		c, err := New(Config{Entries: m, Capacity: 1 << 30, Policy: Random,
+			Seed: uint64(trial), OnEvict: rec.evict})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := hashing.FlowID(1); f <= m; f++ {
+			c.Observe(f)
+		}
+		c.Observe(999)
+		victims[rec.events[0].flow]++
+	}
+	want := 2000.0 / m
+	for f := hashing.FlowID(1); f <= m; f++ {
+		if got := float64(victims[f]); math.Abs(got-want) > 0.5*want {
+			t.Errorf("flow %d victimized %v times, want ~%v", f, got, want)
+		}
+	}
+}
+
+func TestFlushDumpsEverything(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 8, 100, LRU, rec)
+	for f := hashing.FlowID(1); f <= 5; f++ {
+		for i := 0; i < int(f); i++ {
+			c.Observe(f)
+		}
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after flush = %d", c.Len())
+	}
+	if len(rec.events) != 5 {
+		t.Fatalf("flush events = %v", rec.events)
+	}
+	got := map[hashing.FlowID]uint64{}
+	for _, e := range rec.events {
+		if e.reason != Flush {
+			t.Fatalf("reason = %v", e.reason)
+		}
+		got[e.flow] = e.value
+	}
+	for f := hashing.FlowID(1); f <= 5; f++ {
+		if got[f] != uint64(f) {
+			t.Fatalf("flow %d flushed %d, want %d", f, got[f], f)
+		}
+	}
+	if c.Stats().FlushEvictions != 5 {
+		t.Fatalf("FlushEvictions = %d", c.Stats().FlushEvictions)
+	}
+}
+
+func TestFlushSkipsZeroEntries(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 4, 2, LRU, rec) // y=2
+	c.Observe(7)
+	c.Observe(7) // overflow -> evict 2, count back to 0
+	evBefore := len(rec.events)
+	c.Flush()
+	if len(rec.events) != evBefore {
+		t.Fatalf("flush of zero-count entry emitted %v", rec.events[evBefore:])
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not emptied")
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// Invariant: after Flush, evicted mass == packets observed.
+	for _, p := range []Policy{LRU, Random} {
+		rec := &recorder{}
+		c, err := New(Config{Entries: 16, Capacity: 5, Policy: p, Seed: 3, OnEvict: rec.evict})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := hashing.NewPRNG(99)
+		const packets = 20000
+		for i := 0; i < packets; i++ {
+			c.Observe(hashing.FlowID(rng.Intn(200)))
+		}
+		c.Flush()
+		if rec.mass() != packets {
+			t.Errorf("%v: evicted mass %d, want %d", p, rec.mass(), packets)
+		}
+		if c.Stats().EvictedMass != packets {
+			t.Errorf("%v: stats mass %d, want %d", p, c.Stats().EvictedMass, packets)
+		}
+	}
+}
+
+func TestEvictedValuesBounded(t *testing.T) {
+	// All evicted values must lie in [1, y].
+	rec := &recorder{}
+	c := newCache(t, 8, 7, Random, rec)
+	rng := hashing.NewPRNG(5)
+	for i := 0; i < 50000; i++ {
+		c.Observe(hashing.FlowID(rng.Intn(500)))
+	}
+	c.Flush()
+	for _, e := range rec.events {
+		if e.value < 1 || e.value > 7 {
+			t.Fatalf("evicted value %d outside [1, y]", e.value)
+		}
+	}
+}
+
+func TestAddBulkValue(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 4, 10, LRU, rec)
+	c.Add(1, 25) // 25 = 2*10 + 5: two overflow evictions, remainder 5
+	if len(rec.events) != 2 {
+		t.Fatalf("events = %v", rec.events)
+	}
+	for _, e := range rec.events {
+		if e.value != 10 || e.reason != Overflow {
+			t.Fatalf("bulk overflow event %+v", e)
+		}
+	}
+	if v, _ := c.Get(1); v != 5 {
+		t.Fatalf("remainder %d, want 5", v)
+	}
+	c.Add(1, 0) // no-op
+	if c.Stats().Packets != 1 {
+		t.Fatalf("Add(_,0) counted: %+v", c.Stats())
+	}
+}
+
+func TestCapacityOneDegeneratesToRCS(t *testing.T) {
+	// y=1 means every packet is immediately evicted with value 1 — the
+	// paper's observation that RCS is CAESAR with y=1 (Section 6.3.3).
+	rec := &recorder{}
+	c := newCache(t, 4, 1, LRU, rec)
+	for i := 0; i < 10; i++ {
+		c.Observe(hashing.FlowID(i % 2))
+	}
+	if len(rec.events) != 10 {
+		t.Fatalf("y=1: %d events, want 10", len(rec.events))
+	}
+	for _, e := range rec.events {
+		if e.value != 1 || e.reason != Overflow {
+			t.Fatalf("y=1 event %+v", e)
+		}
+	}
+}
+
+func TestOccupancyNeverExceedsM(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 13, 4, Random, rec)
+	rng := hashing.NewPRNG(8)
+	for i := 0; i < 30000; i++ {
+		c.Observe(hashing.FlowID(rng.Intn(1000)))
+		if c.Len() > 13 {
+			t.Fatalf("occupancy %d exceeds M=13", c.Len())
+		}
+	}
+}
+
+func TestReuseAfterFlush(t *testing.T) {
+	rec := &recorder{}
+	c := newCache(t, 4, 10, LRU, rec)
+	c.Observe(1)
+	c.Flush()
+	c.Observe(2)
+	c.Observe(2)
+	if v, ok := c.Get(2); !ok || v != 2 {
+		t.Fatalf("post-flush Get(2) = %d,%v", v, ok)
+	}
+	c.Flush()
+	if rec.mass() != 3 {
+		t.Fatalf("total mass %d, want 3", rec.mass())
+	}
+}
+
+func TestMassConservationProperty(t *testing.T) {
+	f := func(flows []uint8, m, y uint8) bool {
+		if len(flows) == 0 {
+			return true
+		}
+		entries := int(m%32) + 1
+		capY := uint64(y%16) + 1
+		rec := &recorder{}
+		c, err := New(Config{Entries: entries, Capacity: capY, Policy: Random,
+			Seed: 42, OnEvict: rec.evict})
+		if err != nil {
+			return false
+		}
+		for _, fl := range flows {
+			c.Observe(hashing.FlowID(fl))
+		}
+		c.Flush()
+		return rec.mass() == uint64(len(flows)) && c.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerFlowMassConservation(t *testing.T) {
+	// Summing a specific flow's evictions across reasons reconstructs its
+	// exact size (Equation 3: x = sum of e_i).
+	rec := &recorder{}
+	c := newCache(t, 8, 6, LRU, rec)
+	rng := hashing.NewPRNG(77)
+	truth := map[hashing.FlowID]uint64{}
+	for i := 0; i < 40000; i++ {
+		f := hashing.FlowID(rng.Intn(300))
+		truth[f]++
+		c.Observe(f)
+	}
+	c.Flush()
+	got := map[hashing.FlowID]uint64{}
+	for _, e := range rec.events {
+		got[e.flow] += e.value
+	}
+	for f, want := range truth {
+		if got[f] != want {
+			t.Fatalf("flow %d: evicted %d, truth %d", f, got[f], want)
+		}
+	}
+}
+
+func TestMemorySizing(t *testing.T) {
+	// Paper: 97.66 KB cache. With y=54 (log2 ~ 5.75 bits) that is ~139k
+	// entries; check formula consistency both ways.
+	kb := MemoryKB(139000, 54)
+	if kb < 90 || kb > 105 {
+		t.Errorf("MemoryKB(139000, 54) = %.2f, want ~97.66", kb)
+	}
+	m, err := EntriesForBudget(97.66, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MemoryKB(m, 54); got > 97.67 {
+		t.Errorf("EntriesForBudget overshoots: %.2f KB", got)
+	}
+	if MemoryWithIDsKB(100, 54, 64) <= MemoryKB(100, 54) {
+		t.Error("MemoryWithIDsKB must exceed the count-only accounting")
+	}
+	if _, err := EntriesForBudget(0, 54); err == nil {
+		t.Error("budget 0: want error")
+	}
+	if _, err := EntriesForBudget(10, 1); err == nil {
+		t.Error("y=1: want error")
+	}
+	if _, err := EntriesForBudget(1e-9, 1<<60); err == nil {
+		t.Error("tiny budget: want error")
+	}
+}
+
+func TestPolicyAndReasonStrings(t *testing.T) {
+	if LRU.String() != "lru" || Random.String() != "random" {
+		t.Error("policy strings")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy string empty")
+	}
+	if Overflow.String() != "overflow" || Pressure.String() != "pressure" || Flush.String() != "flush" {
+		t.Error("reason strings")
+	}
+	if Reason(9).String() == "" {
+		t.Error("unknown reason string empty")
+	}
+}
+
+func BenchmarkObserveHit(b *testing.B) {
+	rec := func(hashing.FlowID, uint64, Reason) {}
+	c, _ := New(Config{Entries: 1024, Capacity: 1 << 40, Policy: LRU, OnEvict: rec})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe(hashing.FlowID(i & 511))
+	}
+}
+
+func BenchmarkObserveChurn(b *testing.B) {
+	rec := func(hashing.FlowID, uint64, Reason) {}
+	c, _ := New(Config{Entries: 1024, Capacity: 64, Policy: LRU, OnEvict: rec})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe(hashing.FlowID(i % 100000))
+	}
+}

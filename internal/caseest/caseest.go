@@ -1,0 +1,181 @@
+// Package caseest implements CASE — the Cache-Assisted Stretchable
+// Estimator (Li et al., IEEE INFOCOM 2016) — the cache-assisted baseline
+// the paper compares against (Sections 2.3, 6.3.2).
+//
+// CASE uses the same on-chip cache front end as CAESAR, but maps each flow
+// one-to-one to a dedicated off-chip counter and compresses evicted values
+// into it with DISCO-style "stretch" (power) operations. The one-to-one
+// mapping forces L >= Q, so at a fixed SRAM budget each counter gets
+// log2(l) = budget/Q bits: at the paper's 183.11 KB that is ~1.5 bits and
+// almost every flow decodes to ~0 (Figure 5(a)/(c)); at 1.21 MB (~10 bits)
+// a minority of flows becomes accurate (Figure 5(b)/(d)).
+package caseest
+
+import (
+	"fmt"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/disco"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Config parameterizes a CASE sketch.
+type Config struct {
+	// L is the number of off-chip compressed counters. CASE needs L >= Q
+	// (one per flow); when the trace has more flows than counters, the
+	// surplus flows cannot be assigned and estimate to 0, mirroring the
+	// storage-inefficiency failure the paper highlights.
+	L int
+	// CounterBits is the per-counter width (the paper's log2(l)).
+	CounterBits int
+	// MaxFlowSize sets the top of the compression range; the scale is
+	// stretched so a full counter represents this value. Defaults to 1e6.
+	MaxFlowSize float64
+	// CacheEntries is M, as in CAESAR.
+	CacheEntries int
+	// CacheCapacity is y, as in CAESAR.
+	CacheCapacity uint64
+	// Policy is the cache replacement algorithm.
+	Policy cache.Policy
+	// Seed drives the cache and the probabilistic compression rounding.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFlowSize == 0 {
+		c.MaxFlowSize = 1e6
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.L < 1 {
+		return fmt.Errorf("caseest: L must be >= 1, got %d", c.L)
+	}
+	if c.CounterBits < 1 || c.CounterBits > 62 {
+		return fmt.Errorf("caseest: CounterBits must be in [1,62], got %d", c.CounterBits)
+	}
+	return nil
+}
+
+// Sketch is a CASE instance.
+type Sketch struct {
+	cfg   Config
+	cache *cache.Cache
+	scale *disco.Scale
+	codes []uint64
+	// assign maps each flow to its dedicated counter, allocated first-come
+	// first-served: the idealized one-to-one mapping the paper assumes.
+	assign     map[hashing.FlowID]int32
+	rng        *hashing.PRNG
+	sramWrites int
+	unassigned int // evictions that found no free counter
+	flushed    bool
+}
+
+// New builds a CASE sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scale, err := disco.ScaleForRange(cfg.CounterBits, cfg.MaxFlowSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sketch{
+		cfg:    cfg,
+		scale:  scale,
+		codes:  make([]uint64, cfg.L),
+		assign: make(map[hashing.FlowID]int32, cfg.L),
+		rng:    hashing.NewPRNG(cfg.Seed ^ 0xca5eca5e),
+	}
+	s.cache, err = cache.New(cache.Config{
+		Entries:  cfg.CacheEntries,
+		Capacity: cfg.CacheCapacity,
+		Policy:   cfg.Policy,
+		Seed:     cfg.Seed,
+		OnEvict:  s.onEvict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// Observe processes one packet of the given flow.
+func (s *Sketch) Observe(flow hashing.FlowID) {
+	if s.flushed {
+		panic("caseest: Observe after Flush")
+	}
+	s.cache.Observe(flow)
+}
+
+// onEvict folds the evicted value into the flow's dedicated compressed
+// counter with one stretch operation — one off-chip write plus the power
+// operations the paper's Figure 8 timing penalizes.
+func (s *Sketch) onEvict(flow hashing.FlowID, value uint64, _ cache.Reason) {
+	idx, ok := s.assign[flow]
+	if !ok {
+		if len(s.assign) >= s.cfg.L {
+			// One-to-one mapping exhausted: Q > L. The flow's traffic is
+			// lost, as it would be in a CASE deployment sized below Q.
+			s.unassigned++
+			return
+		}
+		idx = int32(len(s.assign))
+		s.assign[flow] = idx
+	}
+	s.codes[idx] = s.scale.BulkAdd(s.codes[idx], value, s.rng)
+	s.sramWrites++
+}
+
+// Flush dumps the cache into the compressed counters.
+func (s *Sketch) Flush() {
+	if s.flushed {
+		return
+	}
+	s.cache.Flush()
+	s.flushed = true
+}
+
+// Estimate decodes the flow's dedicated counter; flows that never got a
+// counter (or whose counter still holds code 0) estimate to 0.
+func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
+	idx, ok := s.assign[flow]
+	if !ok {
+		return 0
+	}
+	return s.scale.Value(s.codes[idx])
+}
+
+// NumPackets returns the packets observed.
+func (s *Sketch) NumPackets() uint64 { return uint64(s.cache.Stats().Packets) }
+
+// CacheStats exposes the front-end cache counters.
+func (s *Sketch) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// SRAMWrites returns the number of off-chip counter updates performed.
+func (s *Sketch) SRAMWrites() int { return s.sramWrites }
+
+// PowOps returns the number of power/log operations spent compressing.
+func (s *Sketch) PowOps() int { return s.scale.PowOps() }
+
+// Unassigned returns how many evictions were dropped because all L
+// one-to-one counters were taken (only nonzero when Q > L).
+func (s *Sketch) Unassigned() int { return s.unassigned }
+
+// AssignedFlows returns how many flows own a counter.
+func (s *Sketch) AssignedFlows() int { return len(s.assign) }
+
+// MemoryKB returns (cacheKB, sramKB) in the paper's accounting.
+func (s *Sketch) MemoryKB() (float64, float64) {
+	return cache.MemoryKB(s.cfg.CacheEntries, s.cfg.CacheCapacity),
+		float64(s.cfg.L) * float64(s.cfg.CounterBits) / (1024 * 8)
+}
+
+// MaxRepresentable returns the largest value a full counter decodes to.
+func (s *Sketch) MaxRepresentable() float64 { return s.scale.MaxValue() }

@@ -1,0 +1,240 @@
+package caseest
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+func mustSketch(t testing.TB, cfg Config) *Sketch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func baseConfig() Config {
+	return Config{
+		L:             4096,
+		CounterBits:   16,
+		CacheEntries:  256,
+		CacheCapacity: 32,
+		Policy:        cache.LRU,
+		Seed:          1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{L: 0, CounterBits: 8, CacheEntries: 4, CacheCapacity: 4},
+		{L: 10, CounterBits: 0, CacheEntries: 4, CacheCapacity: 4},
+		{L: 10, CounterBits: 63, CacheEntries: 4, CacheCapacity: 4},
+		{L: 10, CounterBits: 8, CacheEntries: 0, CacheCapacity: 4},
+		{L: 10, CounterBits: 8, CacheEntries: 4, CacheCapacity: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestEstimateUnknownFlowIsZero(t *testing.T) {
+	s := mustSketch(t, baseConfig())
+	if got := s.Estimate(12345); got != 0 {
+		t.Fatalf("Estimate of unseen flow = %v", got)
+	}
+}
+
+func TestAccurateWithWideCounters(t *testing.T) {
+	// With generous counters CASE estimates well — the paper's point is
+	// that the budget, not the algorithm, breaks it.
+	s := mustSketch(t, baseConfig())
+	truth := map[hashing.FlowID]int{}
+	rng := hashing.NewPRNG(2)
+	for i := 0; i < 50000; i++ {
+		f := hashing.FlowID(rng.Intn(500))
+		truth[f]++
+		s.Observe(f)
+	}
+	s.Flush()
+	var pts []stats.EstimatePoint
+	for f, actual := range truth {
+		if actual < 20 {
+			continue
+		}
+		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(f)})
+	}
+	if len(pts) == 0 {
+		t.Fatal("no flows above threshold")
+	}
+	if are := stats.AverageRelativeError(pts); are > 0.25 {
+		t.Errorf("wide-counter CASE ARE = %.3f, want < 0.25", are)
+	}
+}
+
+func TestCollapsesWithOneBitCounters(t *testing.T) {
+	// Figure 5(a)/(c): at ~1.5 bits per counter nearly every estimate is
+	// ~0, i.e. relative error ~100%.
+	cfg := baseConfig()
+	cfg.CounterBits = 1
+	s := mustSketch(t, cfg)
+	truth := map[hashing.FlowID]int{}
+	rng := hashing.NewPRNG(3)
+	for i := 0; i < 30000; i++ {
+		f := hashing.FlowID(rng.Intn(300))
+		truth[f]++
+		s.Observe(f)
+	}
+	s.Flush()
+	var pts []stats.EstimatePoint
+	for f, actual := range truth {
+		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(f)})
+	}
+	if are := stats.AverageRelativeError(pts); are < 0.9 {
+		t.Errorf("1-bit CASE ARE = %.3f, want ~1 (estimates collapse to ~0)", are)
+	}
+	for f := range truth {
+		if s.Estimate(f) > 1 {
+			t.Fatalf("1-bit counter decoded to %v > 1", s.Estimate(f))
+		}
+	}
+}
+
+func TestMidWidthPartialRecovery(t *testing.T) {
+	// Figure 5(b)/(d): at ~10 bits a portion of flows becomes accurate
+	// while small flows stay bad — overall better than the 1-bit collapse.
+	tr, err := trace.Generate(trace.GenConfig{
+		Flows: 3000, Seed: 4, Sizes: trace.BoundedSizes(3000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(bits int) float64 {
+		cfg := Config{
+			L:             tr.NumFlows(),
+			CounterBits:   bits,
+			MaxFlowSize:   1e6,
+			CacheEntries:  512,
+			CacheCapacity: uint64(2 * tr.MeanFlowSize()),
+			Policy:        cache.LRU,
+			Seed:          5,
+		}
+		s := mustSketch(t, cfg)
+		for _, p := range tr.Packets {
+			s.Observe(p.Flow)
+		}
+		s.Flush()
+		var pts []stats.EstimatePoint
+		for f, actual := range tr.Truth {
+			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(f)})
+		}
+		return stats.AverageRelativeError(pts)
+	}
+	are1, are10 := run(1), run(10)
+	if are10 >= are1 {
+		t.Errorf("10-bit ARE %.3f should beat 1-bit ARE %.3f", are10, are1)
+	}
+	// With 1-bit counters every estimate collapses to <= 1; the overall ARE
+	// is softened only by the many true size-1 flows a heavy tail contains.
+	if are1 < 0.4 {
+		t.Errorf("1-bit ARE %.3f, want the Figure 5 collapse", are1)
+	}
+}
+
+func TestOneToOneExhaustion(t *testing.T) {
+	cfg := baseConfig()
+	cfg.L = 10 // far fewer counters than flows
+	s := mustSketch(t, cfg)
+	for f := hashing.FlowID(0); f < 100; f++ {
+		for i := 0; i < 40; i++ { // enough to overflow y=32 and evict
+			s.Observe(f)
+		}
+	}
+	s.Flush()
+	if s.AssignedFlows() != 10 {
+		t.Fatalf("AssignedFlows = %d, want 10", s.AssignedFlows())
+	}
+	if s.Unassigned() == 0 {
+		t.Fatal("expected unassigned evictions when Q > L")
+	}
+	zero := 0
+	for f := hashing.FlowID(0); f < 100; f++ {
+		if s.Estimate(f) == 0 {
+			zero++
+		}
+	}
+	if zero < 85 {
+		t.Fatalf("only %d/100 flows estimate to 0 despite L=10", zero)
+	}
+}
+
+func TestPowOpsAndWritesAccounted(t *testing.T) {
+	s := mustSketch(t, baseConfig())
+	for i := 0; i < 10000; i++ {
+		s.Observe(hashing.FlowID(i % 50))
+	}
+	s.Flush()
+	if s.SRAMWrites() == 0 {
+		t.Fatal("no SRAM writes recorded")
+	}
+	if s.PowOps() == 0 {
+		t.Fatal("no power operations recorded; CASE must pay compression cost")
+	}
+	// CASE writes once per eviction, not once per packet.
+	if s.SRAMWrites() >= 10000 {
+		t.Fatalf("SRAMWrites = %d for 10000 packets; caching should amortize", s.SRAMWrites())
+	}
+}
+
+func TestObserveAfterFlushPanics(t *testing.T) {
+	s := mustSketch(t, baseConfig())
+	s.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Observe(1)
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	s := mustSketch(t, baseConfig())
+	s.Observe(7)
+	s.Flush()
+	est := s.Estimate(7)
+	s.Flush()
+	if s.Estimate(7) != est {
+		t.Fatal("second Flush changed estimates")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	cfg := baseConfig()
+	s := mustSketch(t, cfg)
+	cacheKB, sramKB := s.MemoryKB()
+	if cacheKB <= 0 || sramKB <= 0 {
+		t.Fatal("nonpositive memory accounting")
+	}
+	wantSram := float64(cfg.L) * float64(cfg.CounterBits) / 8192
+	if math.Abs(sramKB-wantSram) > 1e-9 {
+		t.Fatalf("sram KB = %v, want %v", sramKB, wantSram)
+	}
+	if s.MaxRepresentable() <= 0 {
+		t.Fatal("MaxRepresentable must be positive")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s, _ := New(Config{L: 1 << 16, CounterBits: 16, CacheEntries: 1 << 12,
+		CacheCapacity: 64, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(hashing.FlowID(i % 100000))
+	}
+}

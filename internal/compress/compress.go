@@ -1,0 +1,218 @@
+// Package compress implements the single-counter compression schemes the
+// paper's related-work section groups together (Section 2.1): counters that
+// squeeze a large flow size into a few bits by probabilistic counting, at
+// the cost of one counter per flow and decode error.
+//
+//   - SAC (Stanojevic, INFOCOM'07): a mantissa/exponent split — increment
+//     the mantissa with probability 2^-exponent, renormalize on overflow.
+//   - CEDAR (Tsidon et al., INFOCOM'12): a shared estimator ladder with
+//     geometrically growing steps; the counter stores a rung index.
+//   - DISCO/ANLS-style geometric counters live in the sibling package
+//     internal/disco (CASE builds on them).
+//
+// All three need one counter per flow ("the number of counters be at least
+// equal to the quantity of recorded flows") and a uniform width sized for
+// elephants — the storage inefficiency CAESAR's shared counters avoid. The
+// abl-compress experiment quantifies exactly that trade.
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Counter is a width-limited compressed counter codec: Increment folds one
+// observed unit into a stored code; Estimate decodes a code to its expected
+// represented value.
+type Counter interface {
+	// Increment advances code by one observed unit.
+	Increment(code uint64, rng *hashing.PRNG) uint64
+	// Estimate decodes a stored code.
+	Estimate(code uint64) float64
+	// MaxCode is the largest storable code (2^bits − 1).
+	MaxCode() uint64
+	// Name identifies the scheme.
+	Name() string
+}
+
+// --- SAC ---------------------------------------------------------------------
+
+// SAC is the mantissa/exponent "small active counter": the stored code
+// packs a mantissa A (mantissaBits wide) and an exponent e; the represented
+// value is A·2^e. Increments hit with probability 2^-e; a full mantissa
+// halves and bumps the exponent.
+type SAC struct {
+	mantissaBits int
+	exponentBits int
+}
+
+// NewSAC splits a `bits`-wide counter into mantissa and exponent fields.
+func NewSAC(bits, mantissaBits int) (*SAC, error) {
+	if bits < 2 || bits > 62 {
+		return nil, fmt.Errorf("compress: SAC bits must be in [2,62], got %d", bits)
+	}
+	if mantissaBits < 1 || mantissaBits >= bits {
+		return nil, fmt.Errorf("compress: SAC mantissa bits must be in [1,%d), got %d", bits, mantissaBits)
+	}
+	return &SAC{mantissaBits: mantissaBits, exponentBits: bits - mantissaBits}, nil
+}
+
+func (s *SAC) mantissaMax() uint64 { return 1<<s.mantissaBits - 1 }
+func (s *SAC) exponentMax() uint64 { return 1<<s.exponentBits - 1 }
+
+func (s *SAC) unpack(code uint64) (a, e uint64) {
+	return code & s.mantissaMax(), code >> s.mantissaBits
+}
+
+func (s *SAC) pack(a, e uint64) uint64 { return e<<s.mantissaBits | a }
+
+// Increment implements Counter.
+func (s *SAC) Increment(code uint64, rng *hashing.PRNG) uint64 {
+	a, e := s.unpack(code)
+	// Hit with probability 2^-e.
+	if e > 0 {
+		if rng.Next()&(1<<e-1) != 0 {
+			return code
+		}
+	}
+	a++
+	if a > s.mantissaMax() {
+		if e == s.exponentMax() {
+			return s.pack(s.mantissaMax(), e) // saturated
+		}
+		a >>= 1
+		e++
+	}
+	return s.pack(a, e)
+}
+
+// Estimate implements Counter: Â = A·2^e.
+func (s *SAC) Estimate(code uint64) float64 {
+	a, e := s.unpack(code)
+	return float64(a) * math.Pow(2, float64(e))
+}
+
+// MaxCode implements Counter.
+func (s *SAC) MaxCode() uint64 {
+	return s.pack(s.mantissaMax(), s.exponentMax())
+}
+
+// Name implements Counter.
+func (s *SAC) Name() string {
+	return fmt.Sprintf("SAC(%d+%d bits)", s.mantissaBits, s.exponentBits)
+}
+
+// --- CEDAR -------------------------------------------------------------------
+
+// CEDAR is the shared-estimator ladder: rung i represents value ladder[i],
+// with steps D_i = 1 + 2δ²·ladder[i] chosen so every rung has the same
+// relative error bound δ. Increments climb with probability 1/D_i.
+type CEDAR struct {
+	delta  float64
+	ladder []float64
+}
+
+// NewCEDAR builds a ladder for a `bits`-wide counter spanning values up to
+// maxValue, deriving the per-rung relative error δ by bisection.
+func NewCEDAR(bits int, maxValue float64) (*CEDAR, error) {
+	if bits < 1 || bits > 30 {
+		return nil, fmt.Errorf("compress: CEDAR bits must be in [1,30], got %d", bits)
+	}
+	if maxValue < 1 {
+		return nil, fmt.Errorf("compress: CEDAR maxValue must be >= 1, got %v", maxValue)
+	}
+	rungs := int(uint64(1)<<bits - 1)
+	top := func(delta float64) float64 {
+		v := 0.0
+		for i := 0; i < rungs; i++ {
+			v += 1 + 2*delta*delta*v
+		}
+		return v
+	}
+	if top(0) >= maxValue {
+		// The ladder spans the range exactly even with zero error.
+		return &CEDAR{delta: 0, ladder: buildLadder(0, rungs)}, nil
+	}
+	lo, hi := 0.0, 4.0
+	for top(hi) < maxValue {
+		hi *= 2
+		if hi > 1e6 {
+			return nil, fmt.Errorf("compress: CEDAR cannot span %v with %d bits", maxValue, bits)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*hi+1e-15; i++ {
+		mid := (lo + hi) / 2
+		if top(mid) < maxValue {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	delta := (lo + hi) / 2
+	return &CEDAR{delta: delta, ladder: buildLadder(delta, rungs)}, nil
+}
+
+func buildLadder(delta float64, rungs int) []float64 {
+	ladder := make([]float64, rungs+1)
+	for i := 1; i <= rungs; i++ {
+		ladder[i] = ladder[i-1] + 1 + 2*delta*delta*ladder[i-1]
+	}
+	return ladder
+}
+
+// Delta returns the per-rung relative error parameter.
+func (c *CEDAR) Delta() float64 { return c.delta }
+
+// Increment implements Counter.
+func (c *CEDAR) Increment(code uint64, rng *hashing.PRNG) uint64 {
+	if code >= uint64(len(c.ladder)-1) {
+		return uint64(len(c.ladder) - 1)
+	}
+	step := c.ladder[code+1] - c.ladder[code]
+	if step <= 1 {
+		return code + 1
+	}
+	if rng.Float64() < 1/step {
+		return code + 1
+	}
+	return code
+}
+
+// Estimate implements Counter.
+func (c *CEDAR) Estimate(code uint64) float64 {
+	if code >= uint64(len(c.ladder)) {
+		code = uint64(len(c.ladder) - 1)
+	}
+	return c.ladder[code]
+}
+
+// MaxCode implements Counter.
+func (c *CEDAR) MaxCode() uint64 { return uint64(len(c.ladder) - 1) }
+
+// Name implements Counter.
+func (c *CEDAR) Name() string {
+	return fmt.Sprintf("CEDAR(δ=%.3f)", c.delta)
+}
+
+// --- Evaluation helper ---------------------------------------------------------
+
+// DecodeError measures a codec's mean relative decode error at a given true
+// value over `trials` independent encode runs — the per-counter accuracy
+// the Section 2.1 schemes trade width for.
+func DecodeError(c Counter, value int, trials int, seed uint64) float64 {
+	if value < 1 || trials < 1 {
+		panic("compress: DecodeError needs value >= 1 and trials >= 1")
+	}
+	var sum float64
+	for t := 0; t < trials; t++ {
+		rng := hashing.NewPRNG(seed + uint64(t)*7919)
+		code := uint64(0)
+		for i := 0; i < value; i++ {
+			code = c.Increment(code, rng)
+		}
+		sum += math.Abs(c.Estimate(code)-float64(value)) / float64(value)
+	}
+	return sum / float64(trials)
+}

@@ -1,0 +1,236 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func TestNewSACValidation(t *testing.T) {
+	bad := []struct{ bits, mant int }{
+		{1, 1}, {63, 4}, {8, 0}, {8, 8}, {8, 9},
+	}
+	for i, c := range bad {
+		if _, err := NewSAC(c.bits, c.mant); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	if _, err := NewSAC(8, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSACExactWhileSmall(t *testing.T) {
+	// With exponent 0, SAC counts exactly until the mantissa fills.
+	s, err := NewSAC(8, 5) // mantissa to 31
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewPRNG(1)
+	code := uint64(0)
+	for i := 1; i <= 31; i++ {
+		code = s.Increment(code, rng)
+		if got := s.Estimate(code); got != float64(i) {
+			t.Fatalf("after %d increments estimate = %v", i, got)
+		}
+	}
+}
+
+func TestSACUnbiasedLarge(t *testing.T) {
+	s, err := NewSAC(12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const value = 50000
+	const trials = 40
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		rng := hashing.NewPRNG(uint64(tr) + 5)
+		code := uint64(0)
+		for i := 0; i < value; i++ {
+			code = s.Increment(code, rng)
+		}
+		sum += s.Estimate(code)
+	}
+	mean := sum / trials
+	if math.Abs(mean-value) > 0.15*value {
+		t.Fatalf("mean decoded %.0f, want ~%d", mean, value)
+	}
+}
+
+func TestSACSaturates(t *testing.T) {
+	s, err := NewSAC(4, 2) // tiny: mantissa to 3, exponent to 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewPRNG(2)
+	code := uint64(0)
+	for i := 0; i < 100000; i++ {
+		next := s.Increment(code, rng)
+		if next > s.MaxCode() {
+			t.Fatalf("code %d exceeds MaxCode %d", next, s.MaxCode())
+		}
+		code = next
+	}
+	if code != s.MaxCode() {
+		t.Fatalf("code %d, want saturation at %d", code, s.MaxCode())
+	}
+}
+
+func TestNewCEDARValidation(t *testing.T) {
+	bad := []struct {
+		bits int
+		max  float64
+	}{{0, 100}, {31, 100}, {8, 0.5}}
+	for i, c := range bad {
+		if _, err := NewCEDAR(c.bits, c.max); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestCEDARLadderSpansRange(t *testing.T) {
+	c, err := NewCEDAR(8, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := c.Estimate(c.MaxCode())
+	if math.Abs(top-1e5) > 0.02*1e5 {
+		t.Fatalf("ladder top = %.0f, want ~1e5", top)
+	}
+	if c.Delta() <= 0 {
+		t.Fatal("compressing ladder must have positive delta")
+	}
+	// Ladder strictly increasing.
+	for i := uint64(1); i <= c.MaxCode(); i++ {
+		if c.Estimate(i) <= c.Estimate(i-1) {
+			t.Fatalf("ladder not increasing at rung %d", i)
+		}
+	}
+}
+
+func TestCEDARExactWhenUncompressed(t *testing.T) {
+	// 8 bits spanning <=255: rungs are unit steps, delta 0, exact counting.
+	c, err := NewCEDAR(8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delta() != 0 {
+		t.Fatalf("delta = %v, want 0", c.Delta())
+	}
+	rng := hashing.NewPRNG(3)
+	code := uint64(0)
+	for i := 1; i <= 200; i++ {
+		code = c.Increment(code, rng)
+		if got := c.Estimate(code); got != float64(i) {
+			t.Fatalf("after %d increments estimate = %v", i, got)
+		}
+	}
+}
+
+func TestCEDARUnbiasedCompressed(t *testing.T) {
+	c, err := NewCEDAR(8, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const value = 20000
+	const trials = 40
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		rng := hashing.NewPRNG(uint64(tr) + 11)
+		code := uint64(0)
+		for i := 0; i < value; i++ {
+			code = c.Increment(code, rng)
+		}
+		sum += c.Estimate(code)
+	}
+	mean := sum / trials
+	if math.Abs(mean-value) > 0.15*value {
+		t.Fatalf("mean decoded %.0f, want ~%d", mean, value)
+	}
+}
+
+func TestCEDARSaturates(t *testing.T) {
+	c, err := NewCEDAR(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewPRNG(4)
+	code := uint64(0)
+	for i := 0; i < 100000; i++ {
+		code = c.Increment(code, rng)
+	}
+	if code != c.MaxCode() {
+		t.Fatalf("code %d, want %d", code, c.MaxCode())
+	}
+	if got := c.Increment(code, rng); got != c.MaxCode() {
+		t.Fatal("saturated rung moved")
+	}
+}
+
+func TestDecodeErrorBehavesSanely(t *testing.T) {
+	// More bits -> lower decode error, for both schemes.
+	for _, mk := range []func(bits int) Counter{
+		func(bits int) Counter {
+			s, err := NewSAC(bits, bits/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		func(bits int) Counter {
+			c, err := NewCEDAR(bits, 1e5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+	} {
+		narrow := DecodeError(mk(6), 10000, 20, 1)
+		wide := DecodeError(mk(12), 10000, 20, 1)
+		if wide >= narrow {
+			t.Errorf("12-bit error %.4f not below 6-bit error %.4f", wide, narrow)
+		}
+	}
+}
+
+func TestDecodeErrorPanics(t *testing.T) {
+	s, _ := NewSAC(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DecodeError(s, 0, 10, 1)
+}
+
+func TestNames(t *testing.T) {
+	s, _ := NewSAC(8, 4)
+	c, _ := NewCEDAR(8, 1e4)
+	if s.Name() == "" || c.Name() == "" {
+		t.Fatal("empty names")
+	}
+}
+
+func BenchmarkSACIncrement(b *testing.B) {
+	s, _ := NewSAC(12, 6)
+	rng := hashing.NewPRNG(1)
+	code := uint64(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		code = s.Increment(code, rng)
+	}
+	_ = code
+}
+
+func BenchmarkCEDARIncrement(b *testing.B) {
+	c, _ := NewCEDAR(12, 1e6)
+	rng := hashing.NewPRNG(1)
+	code := uint64(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		code = c.Increment(code, rng)
+	}
+	_ = code
+}

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/counters"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+func mustSketch(t testing.TB, cfg Config) *Sketch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallConfig() Config {
+	return Config{
+		K:             3,
+		L:             512,
+		CacheEntries:  256,
+		CacheCapacity: 16,
+		Policy:        cache.LRU,
+		Seed:          7,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: -1, L: 10, CacheEntries: 4, CacheCapacity: 4},
+		{K: 200, L: 500, CacheEntries: 4, CacheCapacity: 4},
+		{K: 3, L: 2, CacheEntries: 4, CacheCapacity: 4},
+		{K: 3, L: 10, CacheEntries: 0, CacheCapacity: 4},
+		{K: 3, L: 10, CacheEntries: 4, CacheCapacity: 0},
+		{K: 3, L: 10, CacheEntries: 4, CacheCapacity: 4, CounterBits: 99},
+		{K: 3, L: 10, CacheEntries: 4, CacheCapacity: 4, Policy: cache.Policy(9)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v): want error", i, cfg)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := mustSketch(t, Config{L: 100, CacheEntries: 8, CacheCapacity: 8})
+	if s.Config().K != DefaultK {
+		t.Errorf("K default = %d", s.Config().K)
+	}
+	if s.Config().CounterBits != 32 {
+		t.Errorf("CounterBits default = %d", s.Config().CounterBits)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	// After Flush, the SRAM holds exactly n units: the split update must
+	// conserve mass exactly (Equation 3 summed over flows).
+	s := mustSketch(t, smallConfig())
+	rng := hashing.NewPRNG(3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Observe(hashing.FlowID(rng.Intn(1000)))
+	}
+	s.Flush()
+	if got := s.SRAM().Sum(); got != n {
+		t.Fatalf("SRAM mass = %d, want %d", got, n)
+	}
+	if s.NumPackets() != n {
+		t.Fatalf("NumPackets = %d, want %d", s.NumPackets(), n)
+	}
+}
+
+func TestEvictionSplitLaw(t *testing.T) {
+	// A single flow of size x = p*k + q must land p or p+1 on each of its k
+	// counters when evicted exactly once (cache big enough, y > x).
+	cfg := Config{K: 3, L: 64, CacheEntries: 8, CacheCapacity: 1000, Seed: 1}
+	s := mustSketch(t, cfg)
+	const x = 17 // 17 = 5*3 + 2
+	for i := 0; i < x; i++ {
+		s.Observe(42)
+	}
+	s.Flush()
+	idx := hashing.NewKSelector(3, 64, 1).Select(42, nil)
+	var total uint64
+	ones := 0
+	for _, i := range idx {
+		v := s.SRAM().Get(int(i))
+		if v != 5 && v != 6 {
+			t.Fatalf("counter %d = %d, want 5 or 6", i, v)
+		}
+		if v == 6 {
+			ones++
+		}
+		total += v
+	}
+	if total != x {
+		t.Fatalf("split total = %d, want %d", total, x)
+	}
+	if ones > 2 {
+		t.Fatalf("remainder units landed %d times, want <= q = 2 counters at +1 each... total mass mismatch", ones)
+	}
+}
+
+func TestObserveAfterFlushPanics(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	s.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Flush did not panic")
+		}
+	}()
+	s.Observe(1)
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	s.Observe(1)
+	s.Flush()
+	sum := s.SRAM().Sum()
+	s.Flush()
+	if s.SRAM().Sum() != sum {
+		t.Fatal("second Flush changed the SRAM")
+	}
+}
+
+func TestObservePacket(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	ft := hashing.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	s.ObservePacket(ft)
+	s.ObservePacket(ft)
+	e := s.Estimator()
+	// A 2-packet flow alone: CSM returns 2 minus its own tiny noise share
+	// k·n/L = 3·2/512.
+	if got := e.CSM(ft.ID()); math.Abs(got-2) > 3.0*2/512+1e-9 {
+		t.Fatalf("CSM = %v, want ~2", got)
+	}
+}
+
+func TestEstimatorExactWhenAlone(t *testing.T) {
+	// One flow, no sharing: both estimators must recover x exactly
+	// (noise term Qμ/L is x/L, small but nonzero — tolerance accounts).
+	cfg := Config{K: 3, L: 1 << 14, CacheEntries: 64, CacheCapacity: 10, Seed: 5}
+	s := mustSketch(t, cfg)
+	const x = 1000
+	for i := 0; i < x; i++ {
+		s.Observe(77)
+	}
+	e := s.Estimator()
+	noise := 3 * float64(x) / float64(cfg.L)
+	if got := e.CSM(77); math.Abs(got-x) > noise+1e-9 {
+		t.Errorf("CSM = %v, want ~%d", got, x)
+	}
+	if got := e.MLM(77); math.Abs(got-x) > 0.05*x {
+		t.Errorf("MLM = %v, want ~%d", got, x)
+	}
+}
+
+func TestCSMUnbiasedOverSeeds(t *testing.T) {
+	// Equation 21: E(x̂) = x. Average the CSM estimate of one target flow
+	// over many independent seeds and verify it converges to x.
+	const x = 200
+	const trials = 60
+	var sum float64
+	for seed := uint64(0); seed < trials; seed++ {
+		cfg := Config{K: 3, L: 256, CacheEntries: 128, CacheCapacity: 8,
+			Policy: cache.Random, Seed: seed}
+		s := mustSketch(t, cfg)
+		rng := hashing.NewPRNG(seed * 31)
+		// Interleave the target flow with 500 noise flows of mean size ~8.
+		for i := 0; i < x; i++ {
+			s.Observe(999999)
+			for j := 0; j < 20; j++ {
+				s.Observe(hashing.FlowID(rng.Intn(500)))
+			}
+		}
+		sum += s.Estimator().CSM(999999)
+	}
+	mean := sum / trials
+	if math.Abs(mean-x) > 0.05*x {
+		t.Fatalf("mean CSM over %d seeds = %.2f, want ~%d (unbiasedness)", trials, mean, x)
+	}
+}
+
+func TestEndToEndAccuracyAndCoverage(t *testing.T) {
+	// One paper-shaped workload (mean ~27.3, heavy tail, bounded max-flow
+	// fraction), checked for the properties Section 6.3.1 claims:
+	//  - estimates track truth (elephants estimated within tolerance),
+	//  - CSM and MLM "have little difference",
+	//  - the confidence intervals cover at roughly their nominal level
+	//    (with the membership variance included; see EXPERIMENTS.md for why
+	//    the paper's Equation 22 variance alone under-covers).
+	const q = 20000
+	sizes := trace.BoundedSizes(q)
+	tr, err := trace.Generate(trace.GenConfig{Flows: q, Seed: 31, Sizes: sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		K:             3,
+		L:             q / 4,
+		CacheEntries:  q / 8,
+		CacheCapacity: uint64(2 * tr.MeanFlowSize()),
+		Policy:        cache.LRU,
+		Seed:          1,
+	}
+	s := mustSketch(t, cfg)
+	for _, p := range tr.Packets {
+		s.Observe(p.Flow)
+	}
+	e := s.Estimator()
+	e.Q = q
+	e.SizeSecondMoment = sizes.Mean()*sizes.Mean() + sizes.Variance()
+
+	var xs, ys []float64
+	var bigCSM, bigMLM []stats.EstimatePoint
+	var ivs []stats.Interval
+	var truths []float64
+	var meanResidual float64
+	big := 10 * tr.MeanFlowSize()
+	for id, actual := range tr.Truth {
+		est := e.CSM(id)
+		xs = append(xs, float64(actual))
+		ys = append(ys, est)
+		meanResidual += est - float64(actual)
+		if float64(actual) >= big {
+			bigCSM = append(bigCSM, stats.EstimatePoint{Actual: actual, Estimated: est})
+			bigMLM = append(bigMLM, stats.EstimatePoint{Actual: actual, Estimated: e.MLM(id)})
+		}
+		_, iv := e.CSMInterval(id, 0.95)
+		ivs = append(ivs, iv)
+		truths = append(truths, float64(actual))
+	}
+	meanResidual /= float64(len(xs))
+
+	if len(bigCSM) < 100 {
+		t.Fatalf("only %d elephant flows; test is vacuous", len(bigCSM))
+	}
+	// Unbiasedness (Equation 21): the mean residual over 20k flows must be
+	// small compared to the per-flow noise spread.
+	noiseSD := math.Sqrt(e.FullVarCSM(tr.MeanFlowSize()))
+	if math.Abs(meanResidual) > 4*noiseSD/math.Sqrt(float64(len(xs))) {
+		t.Errorf("mean residual %.2f vs expected sampling band %.2f: biased",
+			meanResidual, 4*noiseSD/math.Sqrt(float64(len(xs))))
+	}
+	if r := stats.Pearson(xs, ys); r < 0.4 {
+		t.Errorf("estimate/truth correlation = %.3f, want > 0.4", r)
+	}
+	if are := stats.AverageRelativeError(bigCSM); are > 0.5 {
+		t.Errorf("elephant-flow CSM ARE = %.3f, want < 0.5", are)
+	}
+	// Figure 4: "CSM and MLM estimation results have little difference".
+	ca, ma := stats.AverageRelativeError(bigCSM), stats.AverageRelativeError(bigMLM)
+	if math.Abs(ca-ma) > 0.15 {
+		t.Errorf("CSM ARE %.3f vs MLM ARE %.3f: expected similar", ca, ma)
+	}
+	// 95% CI coverage with the full variance.
+	if cov := stats.Coverage(ivs, truths); cov < 0.85 {
+		t.Errorf("95%% CI coverage = %.3f, want >= 0.85", cov)
+	}
+}
+
+func TestVarianceFormulas(t *testing.T) {
+	e := &Estimator{K: 3, Y: 54, TotalMass: 27000}
+	var err error
+	e, err = NewEstimator(counters.MustArray(1000, 32), 3, 1, 54, 27000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrected Equation 22 at x=100: (x + k·Qμ/L)·k(k−1)²/y.
+	x := 100.0
+	noise := 3 * 27000.0 / 1000
+	want := (x + noise) * 3 * 4 / 54
+	if got := e.VarCSM(x); math.Abs(got-want) > 1e-9 {
+		t.Errorf("VarCSM = %v, want %v", got, want)
+	}
+	// Equation 31 with the corrected Δ_X.
+	d := (x + noise) * 4 / (54 * 3)
+	wantMLM := 2 * 9 * d * d / (2*d + 16/(54.0*54.0))
+	if got := e.VarMLM(x); math.Abs(got-wantMLM) > 1e-9 {
+		t.Errorf("VarMLM = %v, want %v", got, wantMLM)
+	}
+	// The paper proves MLM is at least as accurate as CSM asymptotically;
+	// at these parameters the MLM variance must not exceed the CSM one.
+	if e.VarMLM(x) > e.VarCSM(x) {
+		t.Errorf("VarMLM (%v) > VarCSM (%v)", e.VarMLM(x), e.VarCSM(x))
+	}
+}
+
+func TestVarianceK1Degenerate(t *testing.T) {
+	e, err := NewEstimator(counters.MustArray(100, 32), 1, 1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.VarCSM(50) != 0 || e.VarMLM(50) != 0 {
+		t.Error("k=1 variances must vanish ((k-1)² factor)")
+	}
+}
+
+func TestCSMEmpiricalVarianceMatchesTheory(t *testing.T) {
+	// Run many independent constructions of the same workload and compare
+	// the empirical variance of x̂ against Equation 22 within a loose
+	// factor (the formula itself holds under the paper's approximations).
+	const x = 120
+	const trials = 120
+	var ests []float64
+	var theory float64
+	for seed := uint64(0); seed < trials; seed++ {
+		cfg := Config{K: 3, L: 300, CacheEntries: 200, CacheCapacity: 12,
+			Policy: cache.Random, Seed: seed}
+		s := mustSketch(t, cfg)
+		rng := hashing.NewPRNG(seed*17 + 5)
+		for i := 0; i < x; i++ {
+			s.Observe(888888)
+			for j := 0; j < 25; j++ {
+				s.Observe(hashing.FlowID(rng.Intn(400)))
+			}
+		}
+		e := s.Estimator()
+		ests = append(ests, e.CSM(888888))
+		theory = e.VarCSM(x)
+	}
+	sum := stats.Summarize(ests)
+	ratio := sum.Variance / theory
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Errorf("empirical var %.1f vs theory %.1f (ratio %.2f): outside [0.3,3]",
+			sum.Variance, theory, ratio)
+	}
+}
+
+func TestFullVarianceExceedsPaperVariance(t *testing.T) {
+	// The membership term is strictly positive once distribution knowledge
+	// is present, and FullVarCSM degrades to VarCSM without it.
+	arr := counters.MustArray(1000, 32)
+	e, err := NewEstimator(arr, 3, 1, 54, 27000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FullVarCSM(100) != e.VarCSM(100) {
+		t.Error("without Q/E(z²), FullVarCSM must equal VarCSM")
+	}
+	e.Q = 1000
+	e.SizeSecondMoment = 5000
+	if e.FullVarCSM(100) <= e.VarCSM(100) {
+		t.Error("with Q/E(z²), FullVarCSM must exceed VarCSM")
+	}
+	want := e.VarCSM(100) + 1000*5000/1000.0
+	if math.Abs(e.FullVarCSM(100)-want) > 1e-9 {
+		t.Errorf("FullVarCSM = %v, want %v", e.FullVarCSM(100), want)
+	}
+}
+
+func TestIntervalContainsEstimate(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	for i := 0; i < 1000; i++ {
+		s.Observe(hashing.FlowID(i % 50))
+	}
+	e := s.Estimator()
+	for f := hashing.FlowID(0); f < 50; f++ {
+		est, iv := e.CSMInterval(f, 0.95)
+		if !iv.Contains(est) {
+			t.Fatalf("CSM interval %v excludes its own estimate %v", iv, est)
+		}
+		est, iv = e.MLMInterval(f, 0.95)
+		if !iv.Contains(est) {
+			t.Fatalf("MLM interval %v excludes its own estimate %v", iv, est)
+		}
+	}
+}
+
+func TestEstimatorFromSerializedArray(t *testing.T) {
+	// Offline query phase on a round-tripped SRAM dump must reproduce the
+	// exact same estimates.
+	cfg := smallConfig()
+	s := mustSketch(t, cfg)
+	rng := hashing.NewPRNG(9)
+	for i := 0; i < 20000; i++ {
+		s.Observe(hashing.FlowID(rng.Intn(300)))
+	}
+	live := s.Estimator()
+
+	var buf bytes.Buffer
+	if err := s.SRAM().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	arr, err := counters.ReadArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := NewEstimator(arr, cfg.K, cfg.Seed, cfg.CacheCapacity, float64(s.NumPackets()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := hashing.FlowID(0); f < 300; f++ {
+		if live.CSM(f) != offline.CSM(f) {
+			t.Fatalf("flow %d: live %v != offline %v", f, live.CSM(f), offline.CSM(f))
+		}
+		if live.MLM(f) != offline.MLM(f) {
+			t.Fatalf("flow %d: MLM mismatch", f)
+		}
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	arr := counters.MustArray(10, 8)
+	cases := []struct {
+		k    int
+		y    uint64
+		mass float64
+	}{
+		{0, 5, 10}, {20, 5, 10}, {3, 0, 10}, {3, 5, -1}, {3, 5, math.NaN()},
+	}
+	for i, c := range cases {
+		if _, err := NewEstimator(arr, c.k, 1, c.y, c.mass); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestMethodDispatch(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	for i := 0; i < 500; i++ {
+		s.Observe(5)
+	}
+	e := s.Estimator()
+	if e.Estimate(5, CSMMethod) != e.CSM(5) {
+		t.Error("CSMMethod dispatch")
+	}
+	if e.Estimate(5, MLMMethod) != e.MLM(5) {
+		t.Error("MLMMethod dispatch")
+	}
+	if CSMMethod.String() != "CSM" || MLMMethod.String() != "MLM" {
+		t.Error("method names")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method name empty")
+	}
+}
+
+func TestMemoryKB(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	cacheKB, sramKB := s.MemoryKB()
+	if cacheKB <= 0 || sramKB <= 0 {
+		t.Fatalf("memory accounting: cache=%v sram=%v", cacheKB, sramKB)
+	}
+	wantSram := counters.MemoryKB(512, 32)
+	if math.Abs(sramKB-wantSram) > 1e-9 {
+		t.Fatalf("sram KB = %v, want %v", sramKB, wantSram)
+	}
+}
+
+func TestMassConservationProperty(t *testing.T) {
+	// Property: for arbitrary small workloads the SRAM mass equals the
+	// packet count after flush (exercises overflow + pressure + flush).
+	f := func(flows []uint8, capRaw uint8) bool {
+		if len(flows) == 0 {
+			return true
+		}
+		cfg := Config{K: 3, L: 64, CacheEntries: 4,
+			CacheCapacity: uint64(capRaw%8) + 1, Policy: cache.Random, Seed: 13}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for _, fl := range flows {
+			s.Observe(hashing.FlowID(fl % 16))
+		}
+		s.Flush()
+		return s.SRAM().Sum() == uint64(len(flows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCSEquivalenceAtY1(t *testing.T) {
+	// Section 6.3.3: CAESAR with y=1 degenerates to RCS — every packet goes
+	// straight to one random mapped counter. Check mass and that each
+	// increment is a single unit (no counter exceeds the flow size).
+	cfg := Config{K: 3, L: 128, CacheEntries: 16, CacheCapacity: 1, Seed: 4}
+	s := mustSketch(t, cfg)
+	const x = 900
+	for i := 0; i < x; i++ {
+		s.Observe(11)
+	}
+	s.Flush()
+	if s.SRAM().Sum() != x {
+		t.Fatalf("mass = %d", s.SRAM().Sum())
+	}
+	idx := hashing.NewKSelector(3, 128, 4).Select(11, nil)
+	var total uint64
+	for _, i := range idx {
+		v := s.SRAM().Get(int(i))
+		total += v
+		// Each counter should get roughly x/k = 300; 5-sigma band.
+		mean, sd := float64(x)/3, math.Sqrt(float64(x)*(1.0/3)*(2.0/3))
+		if math.Abs(float64(v)-mean) > 5*sd {
+			t.Errorf("counter %d = %d, want ~%.0f +/- %.0f", i, v, mean, 5*sd)
+		}
+	}
+	if total != x {
+		t.Fatalf("flow mass = %d, want %d", total, x)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s, err := New(Config{K: 3, L: 1 << 16, CacheEntries: 1 << 12,
+		CacheCapacity: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(hashing.FlowID(i % 100000))
+	}
+}
+
+func BenchmarkCSM(b *testing.B) {
+	s, _ := New(Config{K: 3, L: 1 << 16, CacheEntries: 1 << 12, CacheCapacity: 64, Seed: 1})
+	for i := 0; i < 1_000_00; i++ {
+		s.Observe(hashing.FlowID(i % 1000))
+	}
+	e := s.Estimator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.CSM(hashing.FlowID(i % 1000))
+	}
+}
+
+func BenchmarkMLM(b *testing.B) {
+	s, _ := New(Config{K: 3, L: 1 << 16, CacheEntries: 1 << 12, CacheCapacity: 64, Seed: 1})
+	for i := 0; i < 1_000_00; i++ {
+		s.Observe(hashing.FlowID(i % 1000))
+	}
+	e := s.Estimator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.MLM(hashing.FlowID(i % 1000))
+	}
+}
+
+func TestAddVolumeCounting(t *testing.T) {
+	// Flow-volume mode: account bytes instead of packets. Mass conservation
+	// and estimation hold in byte units.
+	cfg := Config{K: 3, L: 1 << 12, CacheEntries: 64,
+		CacheCapacity: 3000, Seed: 6}
+	s := mustSketch(t, cfg)
+	var total uint64
+	rng := hashing.NewPRNG(61)
+	for i := 0; i < 2000; i++ {
+		b := uint64(64 + rng.Intn(1436))
+		s.Add(7, b)
+		total += b
+	}
+	s.Flush()
+	if s.SRAM().Sum() != total {
+		t.Fatalf("byte mass = %d, want %d", s.SRAM().Sum(), total)
+	}
+	e := s.Estimator()
+	if got := e.CSM(7); math.Abs(got-float64(total)) > 3*float64(total)/4096+1 {
+		t.Fatalf("volume CSM = %v, want ~%d", got, total)
+	}
+}
+
+func TestAddAfterFlushPanics(t *testing.T) {
+	s := mustSketch(t, smallConfig())
+	s.Flush()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Flush did not panic")
+		}
+	}()
+	s.Add(1, 5)
+}
+
+func TestParameterGridSanity(t *testing.T) {
+	// Sweep (k, y, L) across a grid: on an isolated 1000-packet flow, both
+	// estimators must recover the size within the tiny self-noise, for
+	// every configuration.
+	const x = 1000
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		for _, y := range []uint64{1, 4, 54, 500} {
+			for _, l := range []int{64, 1024, 1 << 14} {
+				if l < k {
+					continue
+				}
+				cfg := Config{K: k, L: l, CacheEntries: 16, CacheCapacity: y, Seed: 7}
+				s := mustSketch(t, cfg)
+				for i := 0; i < x; i++ {
+					s.Observe(42)
+				}
+				e := s.Estimator()
+				selfNoise := float64(k) * x / float64(l)
+				if got := e.CSM(42); math.Abs(got-x) > selfNoise+1e-6 {
+					t.Fatalf("k=%d y=%d L=%d: CSM = %v", k, y, l, got)
+				}
+				// MLM pays quantization from the quadratic; allow a few %.
+				if got := e.MLM(42); math.Abs(got-x) > 0.08*x+selfNoise {
+					t.Fatalf("k=%d y=%d L=%d: MLM = %v", k, y, l, got)
+				}
+				// Variance formulas stay nonnegative and ordered.
+				if e.VarCSM(x) < 0 || e.VarMLM(x) < 0 {
+					t.Fatalf("k=%d y=%d L=%d: negative variance", k, y, l)
+				}
+				if e.VarMLM(x) > e.VarCSM(x)+1e-9 {
+					t.Fatalf("k=%d y=%d L=%d: VarMLM %v > VarCSM %v",
+						k, y, l, e.VarMLM(x), e.VarCSM(x))
+				}
+			}
+		}
+	}
+}
+
+func TestEstimatesDeterministic(t *testing.T) {
+	// Same seed, same stream: bit-identical estimates across runs.
+	build := func() *Estimator {
+		s := mustSketch(t, smallConfig())
+		rng := hashing.NewPRNG(55)
+		for i := 0; i < 30000; i++ {
+			s.Observe(hashing.FlowID(rng.Intn(400)))
+		}
+		return s.Estimator()
+	}
+	a, b := build(), build()
+	for f := hashing.FlowID(0); f < 400; f++ {
+		if a.CSM(f) != b.CSM(f) || a.MLM(f) != b.MLM(f) {
+			t.Fatalf("flow %d: nondeterministic estimates", f)
+		}
+	}
+}
+
+func TestMergeSRAMRequiresFlush(t *testing.T) {
+	a := mustSketch(t, smallConfig())
+	b := mustSketch(t, smallConfig())
+	a.Observe(1)
+	b.Observe(2)
+	if err := a.MergeSRAM(b); err == nil {
+		t.Fatal("unflushed merge accepted")
+	}
+	a.Flush()
+	b.Flush()
+	if err := a.MergeSRAM(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPackets() != 2 {
+		t.Fatalf("merged packets = %d", a.NumPackets())
+	}
+}

@@ -1,0 +1,248 @@
+// Package counters models the off-chip SRAM counter array of the CAESAR
+// architecture (Figure 1): L counters with a uniform bit width, shared
+// randomly among flows. It provides width-limited saturating counters,
+// memory sizing identical to the paper's accounting
+// (SRAM KB = L*log2(l)/(1024*8), Section 6.2), logical sub-SRAM views
+// (the S_f of Figure 1), and serialization for offline query tooling.
+package counters
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Array is an off-chip SRAM counter array: L counters, each of capacity
+// Cap() = 2^bits - 1. Additions saturate (a hardware counter cannot wrap
+// silently; saturation is observable via Saturations()).
+type Array struct {
+	vals []uint64
+	cap  uint64
+	bits int
+	sat  int
+	// writes counts individual counter update operations — the quantity the
+	// timing model charges off-chip access latency for.
+	writes int
+}
+
+// NewArray allocates L counters of the given bit width (1..64).
+func NewArray(l, bits int) (*Array, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("counters: L must be positive, got %d", l)
+	}
+	if bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("counters: bits must be in [1,64], got %d", bits)
+	}
+	capV := uint64(math.MaxUint64)
+	if bits < 64 {
+		capV = (uint64(1) << bits) - 1
+	}
+	return &Array{vals: make([]uint64, l), cap: capV, bits: bits}, nil
+}
+
+// MustArray is NewArray that panics on error, for static configurations.
+func MustArray(l, bits int) *Array {
+	a, err := NewArray(l, bits)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Len returns L, the number of counters.
+func (a *Array) Len() int { return len(a.vals) }
+
+// Bits returns the per-counter width.
+func (a *Array) Bits() int { return a.bits }
+
+// Cap returns the maximum storable value l = 2^bits - 1.
+func (a *Array) Cap() uint64 { return a.cap }
+
+// Get returns counter i.
+func (a *Array) Get(i int) uint64 { return a.vals[i] }
+
+// Add adds v to counter i, saturating at Cap. It counts as one off-chip
+// write regardless of v (the paper's update coalesces an eviction's aliquot
+// part into a single addition per counter).
+func (a *Array) Add(i int, v uint64) {
+	a.writes++
+	cur := a.vals[i]
+	if v > a.cap-cur {
+		a.vals[i] = a.cap
+		a.sat++
+		return
+	}
+	a.vals[i] = cur + v
+}
+
+// Writes returns the number of off-chip counter update operations so far.
+func (a *Array) Writes() int { return a.writes }
+
+// Saturations returns how many Add calls hit the width limit.
+func (a *Array) Saturations() int { return a.sat }
+
+// Sum returns the total mass stored across all counters. For a lossless
+// run of CAESAR or RCS this equals n, the number of packets (mass
+// conservation), which the integration tests assert.
+func (a *Array) Sum() uint64 {
+	var s uint64
+	for _, v := range a.vals {
+		s += v
+	}
+	return s
+}
+
+// Merge adds src's counter values into a (saturating per counter). The
+// arrays must have identical shape. Merging realizes distributed
+// measurement: sketches built at different observation points with the same
+// hash configuration combine by plain counter addition.
+func (a *Array) Merge(src *Array) error {
+	if src.Len() != a.Len() || src.Bits() != a.Bits() {
+		return fmt.Errorf("counters: merge shape mismatch: %dx%d vs %dx%d",
+			a.Len(), a.Bits(), src.Len(), src.Bits())
+	}
+	for i, v := range src.vals {
+		if v == 0 {
+			continue
+		}
+		cur := a.vals[i]
+		if v > a.cap-cur {
+			a.vals[i] = a.cap
+			a.sat++
+			continue
+		}
+		a.vals[i] = cur + v
+	}
+	return nil
+}
+
+// Reset zeroes every counter and all statistics.
+func (a *Array) Reset() {
+	for i := range a.vals {
+		a.vals[i] = 0
+	}
+	a.sat = 0
+	a.writes = 0
+}
+
+// SubSRAM reads the logical sub-SRAM S_f for a flow: the values of the
+// counters at the given indices, appended to dst.
+func (a *Array) SubSRAM(idx []uint32, dst []uint64) []uint64 {
+	for _, i := range idx {
+		dst = append(dst, a.vals[i])
+	}
+	return dst
+}
+
+// MemoryKB returns the paper's SRAM size accounting for this array:
+// L * log2(l) / (1024*8) KB, where log2(l) is the counter width in bits.
+func (a *Array) MemoryKB() float64 {
+	return MemoryKB(len(a.vals), a.bits)
+}
+
+// MemoryKB computes L counters of `bits` width in KB, per Section 6.2.
+func MemoryKB(l, bits int) float64 {
+	return float64(l) * float64(bits) / (1024 * 8)
+}
+
+// CountersForBudget returns the largest L such that L counters of `bits`
+// width fit within kb kilobytes. It errors when not even one fits.
+func CountersForBudget(kb float64, bits int) (int, error) {
+	if bits < 1 || bits > 64 {
+		return 0, fmt.Errorf("counters: bits must be in [1,64], got %d", bits)
+	}
+	if kb <= 0 {
+		return 0, fmt.Errorf("counters: budget must be positive, got %v", kb)
+	}
+	l := int(kb * 1024 * 8 / float64(bits))
+	if l < 1 {
+		return 0, fmt.Errorf("counters: %v KB cannot hold even one %d-bit counter", kb, bits)
+	}
+	return l, nil
+}
+
+// BitsForBudget returns the widest per-counter width such that l counters
+// fit within kb kilobytes — the quantity the CASE comparison in Section
+// 6.3.2 hinges on: with L >= Q forced, width collapses to ~1.5 bits.
+func BitsForBudget(kb float64, l int) (int, error) {
+	if l <= 0 {
+		return 0, fmt.Errorf("counters: L must be positive, got %d", l)
+	}
+	if kb <= 0 {
+		return 0, fmt.Errorf("counters: budget must be positive, got %v", kb)
+	}
+	bits := int(kb * 1024 * 8 / float64(l))
+	if bits < 1 {
+		return 0, fmt.Errorf("counters: %v KB over %d counters leaves <1 bit each", kb, l)
+	}
+	if bits > 64 {
+		bits = 64
+	}
+	return bits, nil
+}
+
+// --- Serialization --------------------------------------------------------
+
+var arrayMagic = [4]byte{'C', 'S', 'A', '1'}
+
+// ErrBadArrayMagic reports a counter dump that is not in CSA1 format.
+var ErrBadArrayMagic = errors.New("counters: bad magic, not a CSA1 dump")
+
+// Write serializes the array (header + raw values) so the offline query
+// phase can run in a separate process, as the paper's architecture implies.
+func (a *Array) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(arrayMagic[:]); err != nil {
+		return err
+	}
+	hdr := []uint64{uint64(len(a.vals)), uint64(a.bits)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for _, v := range a.vals {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadArray deserializes a CSA1 dump.
+func ReadArray(r io.Reader) (*Array, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("counters: reading magic: %w", err)
+	}
+	if m != arrayMagic {
+		return nil, ErrBadArrayMagic
+	}
+	var l, bits uint64
+	if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+		return nil, err
+	}
+	if l == 0 || l > 1<<31 || bits < 1 || bits > 64 {
+		return nil, fmt.Errorf("counters: implausible header L=%d bits=%d", l, bits)
+	}
+	a, err := NewArray(int(l), int(bits))
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.vals {
+		if err := binary.Read(br, binary.LittleEndian, &a.vals[i]); err != nil {
+			return nil, fmt.Errorf("counters: value %d: %w", i, err)
+		}
+		if a.vals[i] > a.cap {
+			return nil, fmt.Errorf("counters: value %d exceeds %d-bit capacity", i, bits)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,335 @@
+package counters
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	for _, c := range []struct{ l, bits int }{
+		{0, 8}, {-1, 8}, {10, 0}, {10, 65}, {10, -3},
+	} {
+		if _, err := NewArray(c.l, c.bits); err == nil {
+			t.Errorf("NewArray(%d,%d): want error", c.l, c.bits)
+		}
+	}
+	a, err := NewArray(16, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 16 || a.Bits() != 20 || a.Cap() != (1<<20)-1 {
+		t.Fatalf("unexpected array shape: len=%d bits=%d cap=%d", a.Len(), a.Bits(), a.Cap())
+	}
+}
+
+func TestMustArrayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustArray(0,8) did not panic")
+		}
+	}()
+	MustArray(0, 8)
+}
+
+func TestFullWidthCap(t *testing.T) {
+	a := MustArray(1, 64)
+	if a.Cap() != math.MaxUint64 {
+		t.Fatalf("64-bit cap = %d", a.Cap())
+	}
+}
+
+func TestAddAndGet(t *testing.T) {
+	a := MustArray(4, 8)
+	a.Add(0, 5)
+	a.Add(0, 7)
+	a.Add(3, 1)
+	if a.Get(0) != 12 || a.Get(1) != 0 || a.Get(3) != 1 {
+		t.Fatalf("unexpected values %d %d %d", a.Get(0), a.Get(1), a.Get(3))
+	}
+	if a.Writes() != 3 {
+		t.Fatalf("Writes = %d, want 3", a.Writes())
+	}
+	if a.Sum() != 13 {
+		t.Fatalf("Sum = %d, want 13", a.Sum())
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	a := MustArray(1, 4) // cap 15
+	a.Add(0, 14)
+	if a.Saturations() != 0 {
+		t.Fatal("premature saturation")
+	}
+	a.Add(0, 5)
+	if a.Get(0) != 15 {
+		t.Fatalf("saturated value = %d, want 15", a.Get(0))
+	}
+	if a.Saturations() != 1 {
+		t.Fatalf("Saturations = %d, want 1", a.Saturations())
+	}
+	// Saturated counters stay saturated.
+	a.Add(0, 1)
+	if a.Get(0) != 15 || a.Saturations() != 2 {
+		t.Fatalf("post-saturation: val=%d sat=%d", a.Get(0), a.Saturations())
+	}
+}
+
+func TestSaturationNearMaxUint64(t *testing.T) {
+	a := MustArray(1, 64)
+	a.Add(0, math.MaxUint64)
+	a.Add(0, 1) // must not overflow the uint64 arithmetic
+	if a.Get(0) != math.MaxUint64 || a.Saturations() != 1 {
+		t.Fatalf("val=%d sat=%d", a.Get(0), a.Saturations())
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := MustArray(3, 8)
+	a.Add(0, 300) // saturates
+	a.Add(1, 2)
+	a.Reset()
+	if a.Sum() != 0 || a.Writes() != 0 || a.Saturations() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestSubSRAM(t *testing.T) {
+	a := MustArray(10, 16)
+	a.Add(2, 20)
+	a.Add(7, 70)
+	got := a.SubSRAM([]uint32{2, 7, 9}, nil)
+	want := []uint64{20, 70, 0}
+	if len(got) != 3 {
+		t.Fatalf("SubSRAM returned %d values", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SubSRAM[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Appends to dst.
+	dst := []uint64{99}
+	dst = a.SubSRAM([]uint32{2}, dst)
+	if len(dst) != 2 || dst[0] != 99 || dst[1] != 20 {
+		t.Fatalf("SubSRAM append misbehaved: %v", dst)
+	}
+}
+
+func TestMemoryKBPaperFigures(t *testing.T) {
+	// Paper Section 6.3.1: SRAM of 91.55 KB. With 20-bit counters that is
+	// L = 91.55*8192/20 ~ 37499 counters; check the formula is consistent.
+	kb := MemoryKB(37500, 20)
+	if math.Abs(kb-91.55) > 0.1 {
+		t.Errorf("MemoryKB(37500, 20) = %.2f, want ~91.55", kb)
+	}
+	// Section 6.3.2: 183.11 KB budget over Q=1,014,601 one-to-one counters
+	// leaves ~1.5 bits each -> BitsForBudget truncates to 1.
+	bits, err := BitsForBudget(183.11, 1014601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 1 {
+		t.Errorf("BitsForBudget(183.11KB, 1014601) = %d, want 1", bits)
+	}
+	// The paper's 1.21 MB (~1239 KB) budget expands that about six-fold.
+	bits2, err := BitsForBudget(1239, 1014601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits2 < 9 || bits2 > 11 {
+		t.Errorf("BitsForBudget(1.21MB, 1014601) = %d, want ~10", bits2)
+	}
+}
+
+func TestCountersForBudget(t *testing.T) {
+	l, err := CountersForBudget(91.55, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MemoryKB(l, 20) > 91.55+1e-9 {
+		t.Errorf("CountersForBudget returned L=%d exceeding the budget", l)
+	}
+	if MemoryKB(l+1, 20) <= 91.55 {
+		t.Errorf("CountersForBudget not maximal: L=%d", l)
+	}
+	for _, c := range []struct {
+		kb   float64
+		bits int
+	}{{0, 8}, {-3, 8}, {10, 0}, {10, 100}, {0.0001, 64}} {
+		if _, err := CountersForBudget(c.kb, c.bits); err == nil {
+			t.Errorf("CountersForBudget(%v,%d): want error", c.kb, c.bits)
+		}
+	}
+}
+
+func TestBitsForBudgetErrors(t *testing.T) {
+	if _, err := BitsForBudget(10, 0); err == nil {
+		t.Error("L=0: want error")
+	}
+	if _, err := BitsForBudget(0, 10); err == nil {
+		t.Error("kb=0: want error")
+	}
+	if _, err := BitsForBudget(0.0001, 1000000); err == nil {
+		t.Error("sub-bit budget: want error")
+	}
+	// A huge budget clamps at 64 bits.
+	bits, err := BitsForBudget(1e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 64 {
+		t.Errorf("huge budget bits = %d, want 64", bits)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := MustArray(100, 20)
+	for i := 0; i < 100; i++ {
+		a.Add(i, uint64(i*i))
+	}
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != a.Len() || b.Bits() != a.Bits() {
+		t.Fatal("round trip shape differs")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Get(i) != b.Get(i) {
+			t.Fatalf("value %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadArrayBadInput(t *testing.T) {
+	if _, err := ReadArray(bytes.NewReader([]byte("NOPE00000000"))); err != ErrBadArrayMagic {
+		t.Errorf("bad magic: got %v", err)
+	}
+	if _, err := ReadArray(bytes.NewReader(nil)); err == nil {
+		t.Error("empty: want error")
+	}
+	// Value exceeding declared width must be rejected.
+	var buf bytes.Buffer
+	buf.Write([]byte("CSA1"))
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0}) // L=1
+	buf.Write([]byte{4, 0, 0, 0, 0, 0, 0, 0}) // bits=4
+	buf.Write([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadArray(&buf); err == nil {
+		t.Error("out-of-width value: want error")
+	}
+	// Implausible header.
+	var buf2 bytes.Buffer
+	buf2.Write([]byte("CSA1"))
+	buf2.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // L=0
+	buf2.Write([]byte{4, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadArray(&buf2); err == nil {
+		t.Error("L=0 header: want error")
+	}
+}
+
+func TestAddMonotoneProperty(t *testing.T) {
+	// Property: counters are monotone non-decreasing and never exceed Cap.
+	f := func(adds []uint16) bool {
+		a := MustArray(1, 12)
+		prev := uint64(0)
+		for _, v := range adds {
+			a.Add(0, uint64(v))
+			cur := a.Get(0)
+			if cur < prev || cur > a.Cap() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumEqualsAddedMassWhenUnsaturated(t *testing.T) {
+	f := func(vals []uint8) bool {
+		a := MustArray(32, 32)
+		var total uint64
+		for i, v := range vals {
+			a.Add(i%32, uint64(v))
+			total += uint64(v)
+		}
+		return a.Sum() == total && a.Saturations() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	a := MustArray(1<<16, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Add(i&(1<<16-1), 3)
+	}
+}
+
+func FuzzReadArray(f *testing.F) {
+	a := MustArray(4, 12)
+	a.Add(0, 100)
+	a.Add(3, 4095)
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("CSA1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadArray(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed arrays must respect their declared width.
+		for i := 0; i < got.Len(); i++ {
+			if got.Get(i) > got.Cap() {
+				t.Fatalf("value %d exceeds declared capacity", i)
+			}
+		}
+	})
+}
+
+func TestMerge(t *testing.T) {
+	a := MustArray(4, 8)
+	b := MustArray(4, 8)
+	a.Add(0, 10)
+	b.Add(0, 20)
+	b.Add(3, 250)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get(0) != 30 || a.Get(3) != 250 {
+		t.Fatalf("merged values %d %d", a.Get(0), a.Get(3))
+	}
+	// Merge saturates.
+	a.Add(3, 10) // 255 cap -> saturates
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Get(3) != 255 {
+		t.Fatalf("merge did not saturate: %d", a.Get(3))
+	}
+	if a.Saturations() == 0 {
+		t.Fatal("saturation not counted")
+	}
+	// Shape mismatches rejected.
+	if err := a.Merge(MustArray(5, 8)); err == nil {
+		t.Fatal("length mismatch merged")
+	}
+	if err := a.Merge(MustArray(4, 9)); err == nil {
+		t.Fatal("width mismatch merged")
+	}
+}

@@ -1,0 +1,172 @@
+// Package disco implements the DISCO/ANLS-style compressed counter that
+// CASE (Li et al., INFOCOM 2016) builds on: a small integer counter c
+// represents the real value f(c) = ((1+α)^c − 1)/α, a geometric scale whose
+// resolution degrades gracefully as values grow. Single increments advance
+// the counter probabilistically (with probability 1/(f(c+1) − f(c))), and
+// CASE's "stretchable" bulk update folds an evicted cache value V into the
+// counter by jumping to f⁻¹(f(c) + V) with probabilistic rounding.
+//
+// Both the inverse and the jump need floating-point power/logarithm
+// operations — the "time-consuming power operations in the compression
+// step" that the paper charges CASE with (Sections 1.2, 2.3, 6.4). The
+// Scale counts them so the timing model can price CASE updates faithfully.
+package disco
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Scale is a DISCO counter codec: the mapping between stored counter codes
+// [0, MaxCode] and represented values [0, f(MaxCode)].
+type Scale struct {
+	// Alpha is the geometric growth parameter (> 0). Larger alpha stretches
+	// the representable range at the cost of resolution.
+	Alpha float64
+	// MaxCode is the largest storable code (2^bits − 1 for a bits-wide
+	// counter).
+	MaxCode uint64
+
+	logOnePlusAlpha float64
+	powOps          int
+}
+
+// NewScale builds a codec with an explicit alpha.
+func NewScale(alpha float64, maxCode uint64) (*Scale, error) {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("disco: alpha must be positive and finite, got %v", alpha)
+	}
+	if maxCode < 1 {
+		return nil, fmt.Errorf("disco: MaxCode must be >= 1, got %d", maxCode)
+	}
+	return &Scale{
+		Alpha:           alpha,
+		MaxCode:         maxCode,
+		logOnePlusAlpha: math.Log1p(alpha),
+	}, nil
+}
+
+// ScaleForRange derives the alpha that makes a bits-wide counter span
+// values up to maxValue: f(2^bits − 1) = maxValue, solved by bisection.
+// This is how a deployment sizes the compression to its expected largest
+// flow; when the SRAM budget forces tiny counters (the paper's 183 KB CASE
+// configuration leaves ~1.5 bits each), the resulting scale is so coarse
+// that almost every flow decodes to ~0 (Figure 5).
+func ScaleForRange(bits int, maxValue float64) (*Scale, error) {
+	if bits < 1 || bits > 62 {
+		return nil, fmt.Errorf("disco: bits must be in [1,62], got %d", bits)
+	}
+	if maxValue < 1 {
+		return nil, fmt.Errorf("disco: maxValue must be >= 1, got %v", maxValue)
+	}
+	maxCode := uint64(1)<<bits - 1
+	if maxCode == 1 {
+		// Degenerate 1-bit counter: f(1) = 1 for every alpha, so the widest
+		// representable value is 1 no matter how the scale is stretched.
+		// This is exactly the regime the paper's 183 KB CASE configuration
+		// lands in (Figure 5: "estimated flow sizes of CASE are almost 0").
+		return NewScale(1, 1)
+	}
+	if float64(maxCode) >= maxValue {
+		// The counter can store the range uncompressed; use a vanishing
+		// alpha (f(c) -> c as alpha -> 0). Pick a tiny alpha that keeps
+		// the codec well-defined.
+		s, err := NewScale(1e-9, maxCode)
+		return s, err
+	}
+	// f(maxCode) is increasing in alpha; bisect alpha in (lo, hi).
+	value := func(alpha float64) float64 {
+		return math.Expm1(float64(maxCode)*math.Log1p(alpha)) / alpha
+	}
+	lo, hi := 1e-12, 2.0
+	for value(hi) < maxValue {
+		hi *= 2
+		if hi > 1e12 {
+			return nil, fmt.Errorf("disco: cannot span %v with %d bits", maxValue, bits)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*hi; i++ {
+		mid := (lo + hi) / 2
+		if value(mid) < maxValue {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return NewScale((lo+hi)/2, maxCode)
+}
+
+// Value decodes a counter code to its represented value:
+// f(c) = ((1+α)^c − 1)/α. This is the DISCO estimate of the stored flow.
+func (s *Scale) Value(code uint64) float64 {
+	s.powOps++
+	return math.Expm1(float64(code)*s.logOnePlusAlpha) / s.Alpha
+}
+
+// Inverse returns the (real-valued) code representing value v:
+// f⁻¹(v) = log(1 + α·v) / log(1+α).
+func (s *Scale) Inverse(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	s.powOps++
+	return math.Log1p(s.Alpha*v) / s.logOnePlusAlpha
+}
+
+// Increment advances the counter by one observed unit, probabilistically:
+// with probability 1/(f(c+1) − f(c)) the code increases. Codes saturate at
+// MaxCode.
+func (s *Scale) Increment(code uint64, rng *hashing.PRNG) uint64 {
+	if code >= s.MaxCode {
+		return s.MaxCode
+	}
+	gap := s.Value(code+1) - s.Value(code)
+	if gap <= 1 {
+		return code + 1
+	}
+	if rng.Float64() < 1/gap {
+		return code + 1
+	}
+	return code
+}
+
+// BulkAdd folds v observed units into the counter in one "stretch"
+// operation, as CASE does with an evicted cache value: jump to
+// f⁻¹(f(c) + v) with probabilistic rounding of the fractional code.
+func (s *Scale) BulkAdd(code uint64, v uint64, rng *hashing.PRNG) uint64 {
+	if v == 0 || code >= s.MaxCode {
+		return min64(code, s.MaxCode)
+	}
+	target := s.Value(code) + float64(v)
+	exact := s.Inverse(target)
+	newCode := uint64(exact)
+	if frac := exact - float64(newCode); rng.Float64() < frac {
+		newCode++
+	}
+	if newCode > s.MaxCode {
+		newCode = s.MaxCode
+	}
+	if newCode < code {
+		newCode = code // never decrease: counting is monotone
+	}
+	return newCode
+}
+
+// PowOps returns how many power/log operations the codec has performed —
+// the cost driver for CASE in the Figure 8 timing comparison.
+func (s *Scale) PowOps() int { return s.powOps }
+
+// ResetPowOps zeroes the counter (for per-phase accounting).
+func (s *Scale) ResetPowOps() { s.powOps = 0 }
+
+// MaxValue returns the largest representable value, f(MaxCode).
+func (s *Scale) MaxValue() float64 { return s.Value(s.MaxCode) }
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

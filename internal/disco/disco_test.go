@@ -1,0 +1,233 @@
+package disco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func TestNewScaleValidation(t *testing.T) {
+	bad := []struct {
+		alpha float64
+		max   uint64
+	}{
+		{0, 10}, {-1, 10}, {math.NaN(), 10}, {math.Inf(1), 10}, {0.1, 0},
+	}
+	for i, c := range bad {
+		if _, err := NewScale(c.alpha, c.max); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestValueMonotoneAndAnchored(t *testing.T) {
+	s, err := NewScale(0.05, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(0); got != 0 {
+		t.Errorf("Value(0) = %v, want 0", got)
+	}
+	if got := s.Value(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Value(1) = %v, want 1 (f(1) = ((1+a)-1)/a)", got)
+	}
+	prev := -1.0
+	for c := uint64(0); c <= 100; c++ {
+		v := s.Value(c)
+		if v <= prev {
+			t.Fatalf("Value not strictly increasing at %d", c)
+		}
+		prev = v
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	s, _ := NewScale(0.02, 4095)
+	for _, c := range []uint64{0, 1, 5, 100, 1000, 4095} {
+		v := s.Value(c)
+		back := s.Inverse(v)
+		if math.Abs(back-float64(c)) > 1e-6 {
+			t.Errorf("Inverse(Value(%d)) = %v", c, back)
+		}
+	}
+	if s.Inverse(0) != 0 || s.Inverse(-5) != 0 {
+		t.Error("Inverse of nonpositive must be 0")
+	}
+}
+
+func TestScaleForRange(t *testing.T) {
+	s, err := ScaleForRange(10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxValue(); math.Abs(got-1e6) > 0.01*1e6 {
+		t.Errorf("MaxValue = %v, want ~1e6", got)
+	}
+	// Uncompressed case: range fits in the raw code space.
+	s2, err := ScaleForRange(20, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Value(1000); math.Abs(got-1000) > 1 {
+		t.Errorf("uncompressed Value(1000) = %v, want ~1000", got)
+	}
+	for _, c := range []struct {
+		bits int
+		max  float64
+	}{{0, 100}, {63, 100}, {5, 0}} {
+		if _, err := ScaleForRange(c.bits, c.max); err == nil {
+			t.Errorf("ScaleForRange(%d, %v): want error", c.bits, c.max)
+		}
+	}
+}
+
+func TestOneBitCounterIsUseless(t *testing.T) {
+	// The paper's 183 KB CASE configuration: ~1.5 bits per counter. A 1-bit
+	// DISCO counter can only say "0" or "max", so almost every flow decodes
+	// to ~0 or one fixed value — Figure 5(a)/(c)'s collapse.
+	s, err := ScaleForRange(1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxCode != 1 {
+		t.Fatalf("MaxCode = %d", s.MaxCode)
+	}
+	rng := hashing.NewPRNG(1)
+	// A size-100 flow: the counter can hold at most code 1.
+	code := uint64(0)
+	code = s.BulkAdd(code, 100, rng)
+	if code > 1 {
+		t.Fatalf("code = %d", code)
+	}
+}
+
+func TestIncrementUnbiased(t *testing.T) {
+	// Adding n units one at a time must decode to ~n in expectation.
+	s, _ := ScaleForRange(8, 1e5)
+	const n = 20000
+	const trials = 30
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		rng := hashing.NewPRNG(uint64(tr))
+		code := uint64(0)
+		for i := 0; i < n; i++ {
+			code = s.Increment(code, rng)
+		}
+		sum += s.Value(code)
+	}
+	mean := sum / trials
+	if math.Abs(mean-n) > 0.15*n {
+		t.Errorf("mean decoded value %.0f, want ~%d", mean, n)
+	}
+}
+
+func TestBulkAddUnbiased(t *testing.T) {
+	// CASE-style stretch updates: folding chunks of v must also decode to
+	// ~total in expectation.
+	s, _ := ScaleForRange(10, 1e6)
+	const chunk, chunks = 57, 400
+	const trials = 30
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		rng := hashing.NewPRNG(uint64(tr) + 100)
+		code := uint64(0)
+		for i := 0; i < chunks; i++ {
+			code = s.BulkAdd(code, chunk, rng)
+		}
+		sum += s.Value(code)
+	}
+	mean := sum / trials
+	want := float64(chunk * chunks)
+	if math.Abs(mean-want) > 0.15*want {
+		t.Errorf("mean decoded %.0f, want ~%.0f", mean, want)
+	}
+}
+
+func TestBulkAddMonotoneAndSaturating(t *testing.T) {
+	s, _ := ScaleForRange(6, 1e4)
+	rng := hashing.NewPRNG(3)
+	code := uint64(0)
+	for i := 0; i < 1000; i++ {
+		next := s.BulkAdd(code, 100, rng)
+		if next < code {
+			t.Fatalf("BulkAdd decreased the code: %d -> %d", code, next)
+		}
+		if next > s.MaxCode {
+			t.Fatalf("code %d exceeds MaxCode %d", next, s.MaxCode)
+		}
+		code = next
+	}
+	if code != s.MaxCode {
+		t.Fatalf("code %d should have saturated at %d", code, s.MaxCode)
+	}
+	if s.BulkAdd(code, 5, rng) != s.MaxCode {
+		t.Fatal("saturated counter must stay saturated")
+	}
+	if s.BulkAdd(3, 0, rng) != 3 {
+		t.Fatal("BulkAdd of 0 must be identity")
+	}
+}
+
+func TestIncrementSaturates(t *testing.T) {
+	s, _ := NewScale(0.5, 4)
+	rng := hashing.NewPRNG(4)
+	if got := s.Increment(4, rng); got != 4 {
+		t.Fatalf("Increment at MaxCode = %d", got)
+	}
+	if got := s.Increment(9, rng); got != 4 {
+		t.Fatalf("Increment beyond MaxCode = %d, want clamp to 4", got)
+	}
+}
+
+func TestPowOpsCounted(t *testing.T) {
+	s, _ := ScaleForRange(10, 1e6)
+	s.ResetPowOps()
+	rng := hashing.NewPRNG(5)
+	before := s.PowOps()
+	if before != 0 {
+		t.Fatalf("PowOps after reset = %d", before)
+	}
+	s.BulkAdd(0, 100, rng)
+	if s.PowOps() == 0 {
+		t.Fatal("BulkAdd performed no counted power operations")
+	}
+}
+
+func TestBulkAddEquivalentToIncrementsInExpectation(t *testing.T) {
+	// Property: for random chunk sizes the stretch update stays within 25%
+	// of the true total in the mean over seeds.
+	f := func(chunksRaw, vRaw uint8) bool {
+		chunks := int(chunksRaw%50) + 10
+		v := uint64(vRaw%40) + 10
+		s, err := ScaleForRange(12, 1e6)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		const trials = 20
+		for tr := 0; tr < trials; tr++ {
+			rng := hashing.NewPRNG(uint64(tr)*7 + 1)
+			code := uint64(0)
+			for i := 0; i < chunks; i++ {
+				code = s.BulkAdd(code, v, rng)
+			}
+			sum += s.Value(code)
+		}
+		want := float64(chunks) * float64(v)
+		return math.Abs(sum/trials-want) < 0.25*want+5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkAdd(b *testing.B) {
+	s, _ := ScaleForRange(12, 1e6)
+	rng := hashing.NewPRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.BulkAdd(uint64(i%1000), 50, rng)
+	}
+}

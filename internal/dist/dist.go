@@ -1,0 +1,335 @@
+// Package dist models the flow-size distributions the CAESAR analysis is
+// parameterized on (Section 4.1 of the paper): the probability P_i that an
+// arbitrary flow has size i, for i in [1, N], together with its moments
+// mu = E(z) and sigma^2 = D(z) from Equation (1).
+//
+// The paper's real backbone trace is heavy tailed (Figure 3, ">92% of flows
+// are less than the average size"); the generators here — Zipf, bounded
+// Pareto, geometric, and arbitrary empirical tables — all reproduce that
+// shape with tunable parameters, and every sampler is deterministic given a
+// seed so experiments are exactly repeatable.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Distribution is a discrete flow-size distribution on {1, ..., N}.
+type Distribution interface {
+	// Sample draws one flow size in [1, N].
+	Sample(rng *hashing.PRNG) int
+	// Max returns N, the largest size with nonzero probability.
+	Max() int
+	// Mean returns mu = E(z).
+	Mean() float64
+	// Variance returns sigma^2 = D(z).
+	Variance() float64
+	// Name identifies the distribution for reports.
+	Name() string
+}
+
+// Empirical is an arbitrary probability table over sizes 1..N, sampled with
+// Walker's alias method in O(1) per draw. It is the common substrate: the
+// parametric distributions below construct their PMF and delegate here.
+type Empirical struct {
+	name string
+	pmf  []float64 // pmf[i] = P(size == i+1)
+	mean float64
+	vari float64
+
+	// Alias-method tables.
+	prob  []float64
+	alias []int32
+}
+
+// NewEmpirical builds a distribution from weights over sizes 1..len(weights).
+// Weights need not be normalized; they must be nonnegative with a positive
+// sum.
+func NewEmpirical(name string, weights []float64) (*Empirical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("dist: empty weight table")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: invalid weight %v at size %d", w, i+1)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dist: weights sum to %v, need > 0", total)
+	}
+	e := &Empirical{name: name, pmf: make([]float64, len(weights))}
+	for i, w := range weights {
+		e.pmf[i] = w / total
+	}
+	for i, p := range e.pmf {
+		size := float64(i + 1)
+		e.mean += size * p
+	}
+	for i, p := range e.pmf {
+		d := float64(i+1) - e.mean
+		e.vari += d * d * p
+	}
+	e.buildAlias()
+	return e, nil
+}
+
+// MustEmpirical is NewEmpirical that panics on error, for static tables.
+func MustEmpirical(name string, weights []float64) *Empirical {
+	e, err := NewEmpirical(name, weights)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e *Empirical) buildAlias() {
+	n := len(e.pmf)
+	e.prob = make([]float64, n)
+	e.alias = make([]int32, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range e.pmf {
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		e.prob[s] = scaled[s]
+		e.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		e.prob[i] = 1
+		e.alias[i] = i
+	}
+	for _, i := range small {
+		e.prob[i] = 1
+		e.alias[i] = i
+	}
+}
+
+// Sample draws a size in [1, N] via the alias tables.
+func (e *Empirical) Sample(rng *hashing.PRNG) int {
+	i := rng.Intn(len(e.pmf))
+	if rng.Float64() < e.prob[i] {
+		return i + 1
+	}
+	return int(e.alias[i]) + 1
+}
+
+// Max returns N.
+func (e *Empirical) Max() int { return len(e.pmf) }
+
+// Mean returns mu.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Variance returns sigma^2.
+func (e *Empirical) Variance() float64 { return e.vari }
+
+// Name returns the identifier given at construction.
+func (e *Empirical) Name() string { return e.name }
+
+// PMF returns P(size == i) for i in [1, N]; 0 outside.
+func (e *Empirical) PMF(i int) float64 {
+	if i < 1 || i > len(e.pmf) {
+		return 0
+	}
+	return e.pmf[i-1]
+}
+
+// CDF returns P(size <= i).
+func (e *Empirical) CDF(i int) float64 {
+	if i < 1 {
+		return 0
+	}
+	if i > len(e.pmf) {
+		i = len(e.pmf)
+	}
+	var c float64
+	for j := 0; j < i; j++ {
+		c += e.pmf[j]
+	}
+	return c
+}
+
+// FractionBelowMean reports P(z < mu), the paper's heavy-tail witness:
+// Section 4.2 observes more than 92% of flows fall below the average size.
+func (e *Empirical) FractionBelowMean() float64 {
+	return e.CDF(int(math.Ceil(e.mean)) - 1)
+}
+
+// NewZipf builds a Zipf(s) distribution truncated to sizes [1, n]:
+// P(i) proportional to 1/i^s. Internet flow sizes are classically modeled
+// this way; s in [0.9, 1.3] gives the paper's ">92% below mean" shape.
+func NewZipf(s float64, n int) (*Empirical, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: Zipf needs n >= 1, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("dist: Zipf needs s > 0, got %v", s)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return NewEmpirical(fmt.Sprintf("zipf(s=%.2f,N=%d)", s, n), w)
+}
+
+// NewZipfWithMean builds a Zipf distribution truncated to [1, n] whose mean
+// matches targetMean by bisecting on the exponent s. This keeps a workload's
+// mean flow size fixed (the paper's n/Q ≈ 27.3) while the support — and so
+// the max-flow-to-total-mass ratio — scales with the experiment size.
+func NewZipfWithMean(targetMean float64, n int) (*Empirical, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dist: ZipfWithMean needs n >= 2, got %d", n)
+	}
+	if targetMean <= 1 || targetMean >= float64(n) {
+		return nil, fmt.Errorf("dist: target mean %v out of (1, %d)", targetMean, n)
+	}
+	mean := func(s float64) float64 {
+		var num, den float64
+		for i := 1; i <= n; i++ {
+			w := math.Pow(float64(i), -s)
+			num += float64(i) * w
+			den += w
+		}
+		return num / den
+	}
+	lo, hi := 0.01, 8.0 // mean decreases in s
+	if mean(lo) < targetMean || mean(hi) > targetMean {
+		return nil, fmt.Errorf("dist: target mean %v unreachable on [1,%d]", targetMean, n)
+	}
+	for i := 0; i < 80 && hi-lo > 1e-10; i++ {
+		mid := (lo + hi) / 2
+		if mean(mid) > targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return NewZipf((lo+hi)/2, n)
+}
+
+// NewBoundedPareto builds a discrete bounded Pareto with shape alpha on
+// [1, n]: P(i) proportional to the continuous Pareto mass on [i, i+1).
+func NewBoundedPareto(alpha float64, n int) (*Empirical, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: Pareto needs n >= 1, got %d", n)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("dist: Pareto needs alpha > 0, got %v", alpha)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		lo := float64(i + 1)
+		hi := float64(i + 2)
+		w[i] = math.Pow(lo, -alpha) - math.Pow(hi, -alpha)
+	}
+	return NewEmpirical(fmt.Sprintf("pareto(a=%.2f,N=%d)", alpha, n), w)
+}
+
+// NewGeometric builds a geometric distribution truncated to [1, n]:
+// P(i) proportional to (1-p)^(i-1) * p. Lighter tailed than Zipf; useful as
+// an ablation against the heavy-tail assumption.
+func NewGeometric(p float64, n int) (*Empirical, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: Geometric needs n >= 1, got %d", n)
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("dist: Geometric needs 0 < p < 1, got %v", p)
+	}
+	w := make([]float64, n)
+	q := 1.0
+	for i := range w {
+		w[i] = q * p
+		q *= 1 - p
+	}
+	return NewEmpirical(fmt.Sprintf("geom(p=%.3f,N=%d)", p, n), w)
+}
+
+// FromSizes builds the empirical distribution of an observed size multiset,
+// e.g. the ground-truth flow sizes of a trace. Sizes must be >= 1.
+func FromSizes(name string, sizes []int) (*Empirical, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("dist: no sizes")
+	}
+	max := 0
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("dist: size %d < 1", s)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	w := make([]float64, max)
+	for _, s := range sizes {
+		w[s-1]++
+	}
+	return NewEmpirical(name, w)
+}
+
+// CCDFPoint is one (size, P(Z >= size)) sample of a complementary CDF.
+type CCDFPoint struct {
+	Size  int
+	Tail  float64 // P(Z >= Size)
+	Count int     // number of observations >= Size (when built from data)
+}
+
+// CCDF computes the complementary CDF of an observed size multiset at
+// logarithmically spaced size points — the exact curve Figure 3 plots.
+func CCDF(sizes []int) []CCDFPoint {
+	if len(sizes) == 0 {
+		return nil
+	}
+	sorted := make([]int, len(sizes))
+	copy(sorted, sizes)
+	sort.Ints(sorted)
+	max := sorted[len(sorted)-1]
+	var pts []CCDFPoint
+	for s := 1; s <= max; s = nextLogStep(s) {
+		// Number of flows with size >= s.
+		i := sort.SearchInts(sorted, s)
+		ge := len(sorted) - i
+		pts = append(pts, CCDFPoint{
+			Size:  s,
+			Tail:  float64(ge) / float64(len(sorted)),
+			Count: ge,
+		})
+	}
+	return pts
+}
+
+func nextLogStep(s int) int {
+	switch {
+	case s < 10:
+		return s + 1
+	case s < 100:
+		return s + 10
+	case s < 1000:
+		return s + 100
+	case s < 10000:
+		return s + 1000
+	default:
+		return s + 10000
+	}
+}

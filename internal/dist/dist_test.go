@@ -1,0 +1,277 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func TestNewEmpiricalNormalizes(t *testing.T) {
+	e, err := NewEmpirical("t", []float64{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PMF(1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("PMF(1) = %v, want 0.25", got)
+	}
+	if got := e.PMF(3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PMF(3) = %v, want 0.5", got)
+	}
+	if e.PMF(0) != 0 || e.PMF(4) != 0 {
+		t.Error("PMF outside support must be 0")
+	}
+}
+
+func TestNewEmpiricalErrors(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for i, w := range cases {
+		if _, err := NewEmpirical("t", w); err == nil {
+			t.Errorf("case %d: expected error for weights %v", i, w)
+		}
+	}
+}
+
+func TestMustEmpiricalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEmpirical did not panic on bad input")
+		}
+	}()
+	MustEmpirical("bad", nil)
+}
+
+func TestMomentsMatchDefinition(t *testing.T) {
+	// P(1)=0.5, P(2)=0.3, P(3)=0.2 -> mu=1.7, var = E[z^2]-mu^2.
+	e := MustEmpirical("t", []float64{5, 3, 2})
+	wantMean := 0.5*1 + 0.3*2 + 0.2*3
+	ez2 := 0.5*1 + 0.3*4 + 0.2*9
+	wantVar := ez2 - wantMean*wantMean
+	if math.Abs(e.Mean()-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", e.Mean(), wantMean)
+	}
+	if math.Abs(e.Variance()-wantVar) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", e.Variance(), wantVar)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	e := MustEmpirical("t", []float64{1, 2, 3, 4})
+	prev := 0.0
+	for i := 0; i <= 5; i++ {
+		c := e.CDF(i)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %d: %v < %v", i, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(e.CDF(4)-1) > 1e-12 {
+		t.Errorf("CDF(N) = %v, want 1", e.CDF(4))
+	}
+	if math.Abs(e.CDF(100)-1) > 1e-12 {
+		t.Errorf("CDF beyond support = %v, want 1", e.CDF(100))
+	}
+}
+
+func TestSampleMatchesPMF(t *testing.T) {
+	e := MustEmpirical("t", []float64{6, 3, 1})
+	rng := hashing.NewPRNG(11)
+	const trials = 300000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		s := e.Sample(rng)
+		if s < 1 || s > 3 {
+			t.Fatalf("sample %d out of support", s)
+		}
+		counts[s]++
+	}
+	for i := 1; i <= 3; i++ {
+		got := float64(counts[i]) / trials
+		want := e.PMF(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("size %d frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestSampleMeanConverges(t *testing.T) {
+	for _, mk := range []func() (*Empirical, error){
+		func() (*Empirical, error) { return NewZipf(1.1, 1000) },
+		func() (*Empirical, error) { return NewBoundedPareto(1.3, 1000) },
+		func() (*Empirical, error) { return NewGeometric(0.05, 500) },
+	} {
+		e, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := hashing.NewPRNG(5)
+		const trials = 200000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(e.Sample(rng))
+		}
+		got := sum / trials
+		// 5-sigma tolerance on the sample mean.
+		tol := 5 * math.Sqrt(e.Variance()/trials)
+		if math.Abs(got-e.Mean()) > tol {
+			t.Errorf("%s: sample mean %.4f, want %.4f +/- %.4f", e.Name(), got, e.Mean(), tol)
+		}
+	}
+}
+
+func TestZipfHeavyTailWitness(t *testing.T) {
+	// The paper's Figure 3 property: >92% of flows below the average size.
+	// Zipf(s=1.8, N=1e5) also matches the trace's mean flow size of ~27.3.
+	e, err := NewZipf(1.8, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := e.FractionBelowMean(); f < 0.92 {
+		t.Errorf("Zipf(1.8) fraction below mean = %.4f, want >= 0.92", f)
+	}
+	if m := e.Mean(); m < 20 || m > 35 {
+		t.Errorf("Zipf(1.8) mean = %.2f, want ~27 like the paper's trace", m)
+	}
+}
+
+func TestGeometricIsLighterTailed(t *testing.T) {
+	z, _ := NewZipf(1.1, 10000)
+	g, _ := NewGeometric(1/z.Mean(), 10000)
+	// Heavy tail means more extreme mass far above the mean. Compare
+	// P(Z >= 50*mu) under both: the Zipf tail must dominate.
+	zi := int(50 * z.Mean())
+	gi := int(50 * g.Mean())
+	zTail := 1 - z.CDF(zi-1)
+	gTail := 1 - g.CDF(gi-1)
+	if zTail <= gTail {
+		t.Errorf("expected Zipf tail (%g) > geometric tail (%g)", zTail, gTail)
+	}
+}
+
+func TestParametricConstructorErrors(t *testing.T) {
+	if _, err := NewZipf(0, 10); err == nil {
+		t.Error("NewZipf(0, 10): want error")
+	}
+	if _, err := NewZipf(1, 0); err == nil {
+		t.Error("NewZipf(1, 0): want error")
+	}
+	if _, err := NewBoundedPareto(-1, 10); err == nil {
+		t.Error("NewBoundedPareto(-1, 10): want error")
+	}
+	if _, err := NewBoundedPareto(1, 0); err == nil {
+		t.Error("NewBoundedPareto(1, 0): want error")
+	}
+	if _, err := NewGeometric(0, 10); err == nil {
+		t.Error("NewGeometric(0, 10): want error")
+	}
+	if _, err := NewGeometric(1, 10); err == nil {
+		t.Error("NewGeometric(1, 10): want error")
+	}
+	if _, err := NewGeometric(0.5, 0); err == nil {
+		t.Error("NewGeometric(0.5, 0): want error")
+	}
+}
+
+func TestFromSizes(t *testing.T) {
+	e, err := FromSizes("obs", []int{1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Max() != 4 {
+		t.Errorf("Max = %d, want 4", e.Max())
+	}
+	if got := e.PMF(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("PMF(1) = %v, want 0.5", got)
+	}
+	if got := e.PMF(3); got != 0 {
+		t.Errorf("PMF(3) = %v, want 0", got)
+	}
+	if _, err := FromSizes("bad", []int{0}); err == nil {
+		t.Error("FromSizes with size 0: want error")
+	}
+	if _, err := FromSizes("bad", nil); err == nil {
+		t.Error("FromSizes with no sizes: want error")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	sizes := []int{1, 1, 1, 2, 5, 10}
+	pts := CCDF(sizes)
+	if len(pts) == 0 {
+		t.Fatal("empty CCDF")
+	}
+	if pts[0].Size != 1 || pts[0].Tail != 1 {
+		t.Errorf("CCDF at size 1 = %+v, want Tail 1", pts[0])
+	}
+	// Tail must be non-increasing in size.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Tail > pts[i-1].Tail+1e-12 {
+			t.Fatalf("CCDF increased at %+v", pts[i])
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Size != 10 || last.Count != 1 {
+		t.Errorf("last CCDF point = %+v, want Size 10 Count 1", last)
+	}
+	if CCDF(nil) != nil {
+		t.Error("CCDF(nil) should be nil")
+	}
+}
+
+func TestAliasTableProperty(t *testing.T) {
+	// Property: for any valid weight vector, PMF sums to 1 and sampling stays
+	// in support.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true // skip degenerate/oversized inputs
+		}
+		w := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			w[i] = float64(r)
+			total += w[i]
+		}
+		if total == 0 {
+			return true
+		}
+		e, err := NewEmpirical("q", w)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 1; i <= e.Max(); i++ {
+			sum += e.PMF(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		rng := hashing.NewPRNG(99)
+		for i := 0; i < 200; i++ {
+			s := e.Sample(rng)
+			if s < 1 || s > e.Max() || e.PMF(s) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSampleZipf(b *testing.B) {
+	e, _ := NewZipf(1.1, 100000)
+	rng := hashing.NewPRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Sample(rng)
+	}
+}

@@ -1,0 +1,373 @@
+// Package expt is the experiment harness: one registered experiment per
+// figure and table of the paper's evaluation (Section 6), runnable at three
+// scales that preserve the paper trace's shape ratios. cmd/caesar-bench and
+// the repository-root benchmarks drive everything through this package.
+//
+// Scaling. The paper's trace has n = 27,720,011 packets over Q = 1,014,601
+// flows (mean 27.32), a 97.66 KB cache, and SRAM budgets of 91.55 KB
+// (CAESAR/RCS, 20-bit counters → L ≈ 37,500) and 183.11 KB / 1.21 MB
+// (CASE). Experiments here keep every *ratio* fixed — n/Q, Q/L, M/Q, y =
+// ⌊2n/Q⌋, k = 3 — and scale Q, so "who wins and by how much" is preserved
+// while `go test` stays fast. The `paper` scale is the full Q.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/dist"
+	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+// Paper constants (Section 6.1–6.3).
+const (
+	// PaperFlows is Q of the paper's backbone trace.
+	PaperFlows = 1014601
+	// PaperCacheKB is the on-chip cache budget (Section 6.2).
+	PaperCacheKB = 97.66
+	// PaperSRAMKB is the CAESAR/RCS off-chip budget (Figures 4 and 6).
+	PaperSRAMKB = 91.55
+	// PaperCASEKB is CASE's first budget (Figure 5(a)/(c)).
+	PaperCASEKB = 183.11
+	// PaperCASEBigKB is CASE's expanded budget, 1.21 MB (Figure 5(b)/(d)).
+	PaperCASEBigKB = 1.21 * 1024
+	// CounterBits is the CAESAR/RCS counter width implied by the paper's
+	// 91.55 KB / 37,500-counter configuration (log2(l) = 20).
+	CounterBits = 20
+	// K is the number of mapped counters per flow (Section 4.2: "e.g., 3").
+	K = 3
+)
+
+// Scale selects an experiment size.
+type Scale struct {
+	// Name is "small", "medium", or "paper".
+	Name string
+	// Flows is Q at this scale.
+	Flows int
+	// Seed drives trace generation and all sketches.
+	Seed uint64
+}
+
+// Predefined scales. Small keeps `go test ./...` fast; medium is the bench
+// default; paper is the full Q = 1,014,601 (minutes of runtime).
+var (
+	Small  = Scale{Name: "small", Flows: 20_000, Seed: 1}
+	Medium = Scale{Name: "medium", Flows: 100_000, Seed: 1}
+	Paper  = Scale{Name: "paper", Flows: PaperFlows, Seed: 1}
+)
+
+// ScaleByName resolves a scale name.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "paper":
+		return Paper, nil
+	default:
+		return Scale{}, fmt.Errorf("expt: unknown scale %q (small|medium|paper)", name)
+	}
+}
+
+// factor returns this scale's size relative to the paper's Q, used to scale
+// memory budgets.
+func (s Scale) factor() float64 { return float64(s.Flows) / PaperFlows }
+
+// Workload is a generated trace plus the scaled paper configuration.
+type Workload struct {
+	Scale Scale
+	Trace *trace.Trace
+	Sizes dist.Distribution
+
+	// Y is the cache entry capacity, ⌊2·n/Q⌋ (Section 6.2).
+	Y uint64
+	// M is the number of cache entries from the scaled 97.66 KB budget.
+	M int
+	// L is the CAESAR/RCS counter count from the scaled 91.55 KB budget at
+	// 20-bit width.
+	L int
+	// CacheKB and SRAMKB are the scaled budgets themselves.
+	CacheKB, SRAMKB float64
+}
+
+// BuildWorkload generates the trace and derives the scaled configuration.
+func BuildWorkload(s Scale) (*Workload, error) {
+	if s.Flows < 1000 {
+		return nil, fmt.Errorf("expt: scale %q too small (%d flows)", s.Name, s.Flows)
+	}
+	// DefaultSizes is the realistic backbone shape: Zipf(1.8) with support
+	// to 1e5, so the realized largest flow grows with Q like a real
+	// capture's (the bounded variant is for statistical unit tests).
+	sizes := trace.DefaultSizes()
+	tr, err := trace.Generate(trace.GenConfig{Flows: s.Flows, Seed: s.Seed, Sizes: sizes})
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{
+		Scale:   s,
+		Trace:   tr,
+		Sizes:   sizes,
+		CacheKB: PaperCacheKB * s.factor(),
+		SRAMKB:  PaperSRAMKB * s.factor(),
+	}
+	w.Y = uint64(2 * tr.MeanFlowSize())
+	if w.Y < 2 {
+		w.Y = 2
+	}
+	// Paper accounting: L = SRAM_bits / 20; M = cache_bits / log2(y).
+	w.L = int(w.SRAMKB * 8192 / CounterBits)
+	if w.L < K {
+		w.L = K
+	}
+	w.M = int(w.CacheKB * 8192 / math.Log2(float64(w.Y)))
+	if w.M < 1 {
+		w.M = 1
+	}
+	return w, nil
+}
+
+// SecondMoment returns E(z²) of the workload's size distribution, used for
+// the full-variance confidence intervals.
+func (w *Workload) SecondMoment() float64 {
+	m := w.Sizes.Mean()
+	return w.Sizes.Variance() + m*m
+}
+
+// --- Accuracy metrics -------------------------------------------------------
+
+// Accuracy summarizes one scheme/method's estimates against ground truth,
+// carrying all three metrics discussed in EXPERIMENTS.md (the paper's
+// single "average relative error" number is metric-ambiguous; we report the
+// family).
+type Accuracy struct {
+	Label string
+	// AREAll is the mean relative error over every flow.
+	AREAll float64
+	// ARELarge is the mean relative error over flows with actual size
+	// >= 10x the trace mean — the regime the scatter plots make legible.
+	ARELarge float64
+	// AREHuge is the mean relative error over flows >= 100x the trace mean
+	// (the elephant regime, where the flow's own mass dominates the
+	// sharing-noise floor). This is the regime where the paper's headline
+	// comparisons — lossy RCS erring by its loss rate, CASE collapsing,
+	// CAESAR tracking truth — are mechanically meaningful; see
+	// EXPERIMENTS.md for the noise-floor analysis.
+	AREHuge float64
+	// BucketMeanARE averages the per-log-bucket AREs with equal weight,
+	// approximating "the average height of the Figure (c)/(d) curve".
+	BucketMeanARE float64
+	// ClassMeanARE is the paper's headline metric reconstruction: estimates
+	// of all flows with the same actual size are averaged first, then the
+	// class means' relative errors are averaged (see stats.ClassMeanARE).
+	// Zero-mean sharing noise cancels; systematic bias survives.
+	ClassMeanARE float64
+	// Bias is the mean signed residual (est - actual), near 0 for unbiased
+	// estimators.
+	Bias float64
+	// Pearson is the estimated-vs-actual correlation (panels (a)/(b)).
+	Pearson float64
+	// Buckets is the Figure (c)/(d) curve itself.
+	Buckets []stats.SizeBucket
+	// Flows, LargeFlows and HugeFlows count the populations behind the
+	// corresponding ARE metrics.
+	Flows, LargeFlows, HugeFlows int
+}
+
+// MeasureAccuracy computes the metric family from (actual, estimated)
+// pairs. largeCut is the actual-size threshold for ARELarge; AREHuge uses
+// 10x largeCut.
+func MeasureAccuracy(label string, pts []stats.EstimatePoint, largeCut float64) Accuracy {
+	a := Accuracy{Label: label, Flows: len(pts)}
+	if len(pts) == 0 {
+		return a
+	}
+	var large, huge []stats.EstimatePoint
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	var bias float64
+	for i, p := range pts {
+		xs[i] = float64(p.Actual)
+		ys[i] = p.Estimated
+		bias += p.Estimated - float64(p.Actual)
+		if float64(p.Actual) >= largeCut {
+			large = append(large, p)
+		}
+		if float64(p.Actual) >= 10*largeCut {
+			huge = append(huge, p)
+		}
+	}
+	a.AREAll = stats.AverageRelativeError(pts)
+	a.ARELarge = stats.AverageRelativeError(large)
+	a.AREHuge = stats.AverageRelativeError(huge)
+	a.ClassMeanARE = stats.ClassMeanARE(pts)
+	a.LargeFlows = len(large)
+	a.HugeFlows = len(huge)
+	a.Bias = bias / float64(len(pts))
+	a.Pearson = stats.Pearson(xs, ys)
+	a.Buckets = stats.BucketByActualSize(pts)
+	var bsum float64
+	for _, b := range a.Buckets {
+		bsum += b.AvgRelErr
+	}
+	if len(a.Buckets) > 0 {
+		a.BucketMeanARE = bsum / float64(len(a.Buckets))
+	}
+	return a
+}
+
+// --- Report rendering --------------------------------------------------------
+
+// Report is one experiment's output: a headline and a rendered table. The
+// fields are exported (and JSON-tagged) so caesar-bench can emit
+// machine-readable results.
+type Report struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Headline string `json:"headline,omitempty"`
+	Table    string `json:"table,omitempty"`
+}
+
+// String renders the full report block.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Headline != "" {
+		fmt.Fprintf(&b, "%s\n", r.Headline)
+	}
+	if r.Table != "" {
+		b.WriteString(r.Table)
+	}
+	return b.String()
+}
+
+// Table renders rows as aligned plain-text columns; the first row is the
+// header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// AccuracyRows renders a slice of Accuracy measurements as table rows.
+func AccuracyRows(accs []Accuracy) [][]string {
+	rows := [][]string{{
+		"scheme", "flows", "ARE(elephant)", "classARE", "ARE(all)", "ARE(large)", "bias", "pearson",
+	}}
+	for _, a := range accs {
+		rows = append(rows, []string{
+			a.Label,
+			fmt.Sprintf("%d", a.Flows),
+			fmt.Sprintf("%.2f%% (n=%d)", 100*a.AREHuge, a.HugeFlows),
+			fmt.Sprintf("%.2f%%", 100*a.ClassMeanARE),
+			fmt.Sprintf("%.2f%%", 100*a.AREAll),
+			fmt.Sprintf("%.2f%%", 100*a.ARELarge),
+			fmt.Sprintf("%+.2f", a.Bias),
+			fmt.Sprintf("%.3f", a.Pearson),
+		})
+	}
+	return rows
+}
+
+// BucketRows renders the Figure (c)/(d) curve of one Accuracy.
+func BucketRows(a Accuracy) [][]string {
+	rows := [][]string{{"size bucket", "flows", "avg rel err", "signed"}}
+	for _, b := range a.Buckets {
+		rows = append(rows, []string{
+			fmt.Sprintf("[%d,%d]", b.Lo, b.Hi),
+			fmt.Sprintf("%d", b.Flows),
+			fmt.Sprintf("%.2f%%", 100*b.AvgRelErr),
+			fmt.Sprintf("%+.2f%%", 100*b.AvgSigned),
+		})
+	}
+	return rows
+}
+
+// ScatterRows renders a log-spaced sample of (actual, estimated) pairs —
+// the estimated-vs-actual scatter of the figures' (a)/(b) panels, thinned
+// to roughly maxRows flows spread across the size range.
+func ScatterRows(pts []stats.EstimatePoint, maxRows int) [][]string {
+	if len(pts) == 0 || maxRows < 1 {
+		return nil
+	}
+	sorted := make([]stats.EstimatePoint, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Actual != sorted[j].Actual {
+			return sorted[i].Actual < sorted[j].Actual
+		}
+		return sorted[i].Estimated < sorted[j].Estimated
+	})
+	rows := [][]string{{"actual", "estimated", "rel err"}}
+	// Pick the first flow at or above each log-spaced size target.
+	lo, hi := sorted[0].Actual, sorted[len(sorted)-1].Actual
+	if lo < 1 {
+		lo = 1
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(maxRows))
+	if ratio < 1.0001 {
+		ratio = 1.0001
+	}
+	target := float64(lo)
+	i := 0
+	for len(rows)-1 < maxRows && i < len(sorted) {
+		for i < len(sorted) && float64(sorted[i].Actual) < target {
+			i++
+		}
+		if i == len(sorted) {
+			break
+		}
+		p := sorted[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Actual),
+			fmt.Sprintf("%.1f", p.Estimated),
+			fmt.Sprintf("%+.1f%%", 100*(p.Estimated-float64(p.Actual))/float64(p.Actual)),
+		})
+		i++
+		for target <= float64(p.Actual) {
+			target *= ratio
+		}
+	}
+	return rows
+}
+
+// SortedFlowsBySize returns the trace's flow IDs ordered by descending
+// ground-truth size (deterministic tie-break), for scatter sampling.
+func SortedFlowsBySize(tr *trace.Trace) []stats.EstimatePoint {
+	pts := make([]stats.EstimatePoint, 0, tr.NumFlows())
+	for id, size := range tr.Truth {
+		pts = append(pts, stats.EstimatePoint{Actual: size, Estimated: float64(id)})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Actual != pts[j].Actual {
+			return pts[i].Actual > pts[j].Actual
+		}
+		return pts[i].Estimated < pts[j].Estimated
+	})
+	return pts
+}

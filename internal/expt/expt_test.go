@@ -1,0 +1,319 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/stats"
+)
+
+// sharedWorkload builds the small workload once for the whole package: the
+// experiments are read-only over it.
+var (
+	wOnce sync.Once
+	wVal  *Workload
+	wErr  error
+)
+
+func smallWorkload(t *testing.T) *Workload {
+	t.Helper()
+	wOnce.Do(func() { wVal, wErr = BuildWorkload(Small) })
+	if wErr != nil {
+		t.Fatal(wErr)
+	}
+	return wVal
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale: want error")
+	}
+}
+
+func TestBuildWorkloadShape(t *testing.T) {
+	w := smallWorkload(t)
+	if w.Trace.NumFlows() != Small.Flows {
+		t.Fatalf("flows = %d", w.Trace.NumFlows())
+	}
+	// The distribution mean is ~27.3, but a heavy-tailed sample mean over
+	// 20k flows swings widely with the realized elephants.
+	mean := w.Trace.MeanFlowSize()
+	if mean < 12 || mean > 80 {
+		t.Errorf("mean flow size %.2f, want within heavy-tail band of ~27.3", mean)
+	}
+	if w.Y != uint64(2*mean) {
+		t.Errorf("Y = %d, want 2*mean", w.Y)
+	}
+	// Ratios preserved: Q/L should be ~27 like the paper's 1014601/37500.
+	qOverL := float64(w.Trace.NumFlows()) / float64(w.L)
+	if qOverL < 20 || qOverL > 35 {
+		t.Errorf("Q/L = %.1f, want ~27 (paper ratio)", qOverL)
+	}
+	if w.M <= 0 || w.L < K {
+		t.Errorf("degenerate workload: M=%d L=%d", w.M, w.L)
+	}
+	if w.SecondMoment() <= w.Sizes.Mean()*w.Sizes.Mean() {
+		t.Error("second moment must exceed mean^2")
+	}
+}
+
+func TestBuildWorkloadRejectsTiny(t *testing.T) {
+	if _, err := BuildWorkload(Scale{Name: "tiny", Flows: 10}); err == nil {
+		t.Error("tiny scale: want error")
+	}
+}
+
+func TestMeasureAccuracy(t *testing.T) {
+	pts := []stats.EstimatePoint{
+		{Actual: 10, Estimated: 10},
+		{Actual: 100, Estimated: 150},
+		{Actual: 1000, Estimated: 900},
+	}
+	a := MeasureAccuracy("x", pts, 50)
+	if a.Flows != 3 || a.LargeFlows != 2 {
+		t.Fatalf("accuracy counts: %+v", a)
+	}
+	wantAll := (0 + 0.5 + 0.1) / 3
+	if diff := a.AREAll - wantAll; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("AREAll = %v, want %v", a.AREAll, wantAll)
+	}
+	wantLarge := (0.5 + 0.1) / 2
+	if diff := a.ARELarge - wantLarge; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("ARELarge = %v, want %v", a.ARELarge, wantLarge)
+	}
+	if a.Pearson < 0.99 {
+		t.Errorf("Pearson = %v", a.Pearson)
+	}
+	empty := MeasureAccuracy("none", nil, 10)
+	if empty.Flows != 0 || empty.AREAll != 0 {
+		t.Error("empty accuracy not zero")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([][]string{{"a", "bbbb"}, {"cccc", "d"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table should render empty")
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	w := smallWorkload(t)
+	r, err := Fig3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Headline, "below the mean") {
+		t.Errorf("headline: %s", r.Headline)
+	}
+	if !strings.Contains(r.Table, "flow size >=") {
+		t.Errorf("table missing header:\n%s", r.Table)
+	}
+}
+
+func TestFig7LossErrorsTrackRates(t *testing.T) {
+	w := smallWorkload(t)
+	r, err := Fig7(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 7 shape: elephant-flow ARE ~ loss rate.
+	if !strings.Contains(r.ID, "fig7") {
+		t.Fatal("wrong report")
+	}
+	accs := fig7Accuracies(t, w)
+	if accs[0].AREHuge < 0.55 || accs[0].AREHuge > 0.85 {
+		t.Errorf("loss 2/3: elephant ARE = %.3f, want ~0.67", accs[0].AREHuge)
+	}
+	if accs[1].AREHuge < 0.80 || accs[1].AREHuge > 1.0 {
+		t.Errorf("loss 9/10: elephant ARE = %.3f, want ~0.90", accs[1].AREHuge)
+	}
+}
+
+func fig7Accuracies(t *testing.T, w *Workload) []Accuracy {
+	t.Helper()
+	var accs []Accuracy
+	for _, loss := range []float64{2.0 / 3, 9.0 / 10} {
+		pts, _, err := runRCS(w, loss, w.L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs = append(accs, MeasureAccuracy("rcs", pts, w.largeCut()))
+	}
+	return accs
+}
+
+func TestSchemeOrderingAcrossExperiments(t *testing.T) {
+	// The paper's central comparison, checked in the elephant regime (flows
+	// whose own mass dominates the sharing-noise floor — the only regime
+	// where the comparison is mechanically meaningful, see EXPERIMENTS.md):
+	// CAESAR ~ RCS lossless << RCS lossy < CASE at the 183KB-scaled budget.
+	// A more generous L than the paper-budget ratio keeps the noise floor
+	// below the elephant cut at this reduced scale.
+	w := smallWorkload(t)
+	l := w.Trace.NumFlows() / 4
+	caesarPts, _, err := runCAESAR(w, 0, 0, K, l, w.Y, w.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caesar := MeasureAccuracy("caesar", caesarPts, w.largeCut())
+
+	rcsPts, _, err := runRCS(w, 0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcsLossless := MeasureAccuracy("rcs0", rcsPts, w.largeCut())
+
+	lossyPts, _, err := runRCS(w, 2.0/3, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcsLossy := MeasureAccuracy("rcs23", lossyPts, w.largeCut())
+
+	casePts, _, err := runCASE(w, PaperCASEKB*w.Scale.factor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caseAcc := MeasureAccuracy("case", casePts, w.largeCut())
+
+	if caesar.HugeFlows < 10 {
+		t.Fatalf("only %d elephant flows; test is vacuous", caesar.HugeFlows)
+	}
+	// CAESAR ~ lossless RCS ("quite similar", Section 6.3.3).
+	if d := caesar.AREHuge - rcsLossless.AREHuge; d > 0.15 || d < -0.15 {
+		t.Errorf("CAESAR %.3f vs lossless RCS %.3f: expected similar", caesar.AREHuge, rcsLossless.AREHuge)
+	}
+	// Lossy RCS much worse than CAESAR (paper: error tracks the 2/3 loss).
+	if rcsLossy.AREHuge < caesar.AREHuge+0.2 {
+		t.Errorf("lossy RCS %.3f should be far worse than CAESAR %.3f", rcsLossy.AREHuge, caesar.AREHuge)
+	}
+	// CASE at the 183KB-equivalent budget collapses on elephants (~100%).
+	if caseAcc.AREHuge < 0.9 {
+		t.Errorf("CASE elephant ARE = %.3f, want ~1 (Figure 5 collapse)", caseAcc.AREHuge)
+	}
+	// And the full ordering.
+	if !(caesar.AREHuge < rcsLossy.AREHuge && rcsLossy.AREHuge < caseAcc.AREHuge) {
+		t.Errorf("ordering violated: CAESAR %.3f, lossy RCS %.3f, CASE %.3f",
+			caesar.AREHuge, rcsLossy.AREHuge, caseAcc.AREHuge)
+	}
+}
+
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	w := smallWorkload(t)
+	for _, e := range All() {
+		r, err := e.Run(w)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if r.ID != e.ID {
+			t.Errorf("%s: report id %q", e.ID, r.ID)
+		}
+		if r.String() == "" || r.Table == "" {
+			t.Errorf("%s: empty report", e.ID)
+		}
+	}
+}
+
+func TestAccuracyRowsAndBucketRows(t *testing.T) {
+	pts := []stats.EstimatePoint{{Actual: 5, Estimated: 5}, {Actual: 9, Estimated: 18}}
+	a := MeasureAccuracy("t", pts, 6)
+	rows := AccuracyRows([]Accuracy{a})
+	if len(rows) != 2 || rows[1][0] != "t" {
+		t.Fatalf("AccuracyRows = %v", rows)
+	}
+	br := BucketRows(a)
+	if len(br) < 2 {
+		t.Fatalf("BucketRows = %v", br)
+	}
+}
+
+func TestSortedFlowsBySize(t *testing.T) {
+	w := smallWorkload(t)
+	pts := SortedFlowsBySize(w.Trace)
+	if len(pts) != w.Trace.NumFlows() {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Actual > pts[i-1].Actual {
+			t.Fatal("not descending")
+		}
+	}
+}
+
+func TestScatterRows(t *testing.T) {
+	var pts []stats.EstimatePoint
+	for i := 1; i <= 1000; i++ {
+		pts = append(pts, stats.EstimatePoint{Actual: i, Estimated: float64(i) * 1.1})
+	}
+	rows := ScatterRows(pts, 10)
+	if len(rows) < 5 || len(rows) > 12 {
+		t.Fatalf("ScatterRows returned %d rows", len(rows))
+	}
+	if rows[0][0] != "actual" {
+		t.Fatalf("missing header: %v", rows[0])
+	}
+	// Sizes strictly increase down the sample.
+	prev := 0
+	for _, r := range rows[1:] {
+		var v int
+		if _, err := fmt.Sscanf(r[0], "%d", &v); err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Fatalf("sample sizes not increasing: %v", rows)
+		}
+		prev = v
+	}
+	if ScatterRows(nil, 5) != nil {
+		t.Error("ScatterRows(nil) != nil")
+	}
+	if ScatterRows(pts, 0) != nil {
+		t.Error("ScatterRows(_, 0) != nil")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Headline: "h", Table: "a  b\n"}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *r {
+		t.Fatalf("round trip %+v != %+v", back, *r)
+	}
+}

@@ -1,0 +1,220 @@
+// Package hashing provides the hash primitives used throughout the CAESAR
+// reproduction: flow-ID generation from 5-tuple packet headers (SHA-1 based,
+// as in Section 6.1 of the paper), the classic string hash functions the
+// paper mentions (APHash) plus a few companions, seeded 64-bit mixers, and a
+// KSelector that maps a flow ID to k distinct ("collision-free") off-chip
+// counter indices.
+package hashing
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// FlowID is the unique identifier the measurement pipeline derives from a
+// packet's 5-tuple header. The paper generates it with SHA-1 and APHash; we
+// keep the full 64 bits of the digest prefix so ID collisions are negligible
+// at the paper's scale (~10^6 flows).
+type FlowID uint64
+
+// FiveTuple is the classic flow key: source/destination IPv4 address,
+// source/destination transport port, and IP protocol number.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders the tuple in the usual "src:sport > dst:dport proto" form.
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d proto=%d",
+		ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort, t.Proto)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Bytes returns the canonical 13-byte wire encoding of the tuple, used as
+// the hash input for flow-ID generation.
+func (t FiveTuple) Bytes() [13]byte {
+	var b [13]byte
+	binary.BigEndian.PutUint32(b[0:4], t.SrcIP)
+	binary.BigEndian.PutUint32(b[4:8], t.DstIP)
+	binary.BigEndian.PutUint16(b[8:10], t.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], t.DstPort)
+	b[12] = t.Proto
+	return b
+}
+
+// ID derives the flow's FlowID the way the paper does: SHA-1 over the header
+// bytes, folded with APHash so the two independent digests jointly select
+// the identifier.
+func (t FiveTuple) ID() FlowID {
+	b := t.Bytes()
+	sum := sha1.Sum(b[:])
+	h := binary.BigEndian.Uint64(sum[:8])
+	return FlowID(h ^ uint64(APHash(b[:]))<<32)
+}
+
+// APHash is Arash Partow's hash function, one of the two functions the paper
+// uses to generate flow IDs from captured headers.
+func APHash(data []byte) uint32 {
+	var h uint32 = 0xAAAAAAAA
+	for i, c := range data {
+		if i&1 == 0 {
+			h ^= (h << 7) ^ uint32(c)*(h>>3)
+		} else {
+			h ^= ^((h << 11) + (uint32(c) ^ (h >> 5)))
+		}
+	}
+	return h
+}
+
+// BKDRHash is the Brian Kernighan / Dennis Ritchie string hash, a cheap
+// companion hash commonly paired with APHash in sketch implementations.
+func BKDRHash(data []byte) uint32 {
+	const seed = 131
+	var h uint32
+	for _, c := range data {
+		h = h*seed + uint32(c)
+	}
+	return h
+}
+
+// FNV64 is the 64-bit FNV-1a hash.
+func FNV64(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for _, c := range data {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// Mix64 is a strong 64-bit finalizer (SplitMix64 / MurmurHash3 style). It is
+// the workhorse for deriving the k counter indices and the per-eviction
+// random choices: cheap, stateless, and exactly reproducible, which is what
+// a hardware hash unit gives you.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// MixWithSeed combines a value with a seed and finalizes. Different seeds
+// yield (empirically) independent hash functions, standing in for the k
+// different collision-free hash functions of Section 3.1.
+func MixWithSeed(x, seed uint64) uint64 {
+	return Mix64(x ^ Mix64(seed^0x9e3779b97f4a7c15))
+}
+
+// KSelector maps a flow ID to k distinct counter indices in [0, L).
+//
+// The paper requires "k different collision-free hash functions" acting only
+// on the flow ID (Section 3.1): every eviction of the same flow must land on
+// the same k counters, and the k counters must be distinct. KSelector
+// implements that with seeded double hashing plus a linear-probing fallback,
+// so selection cost is O(k) with no retries in the common case.
+type KSelector struct {
+	k    int
+	l    uint64
+	seed uint64
+}
+
+// NewKSelector returns a selector for k distinct indices in [0, l).
+// It panics if k < 1 or l < k, which are programming errors: the paper's
+// scheme is undefined when a flow cannot get k distinct counters.
+func NewKSelector(k, l int, seed uint64) *KSelector {
+	if k < 1 {
+		panic("hashing: KSelector requires k >= 1")
+	}
+	if l < k {
+		panic("hashing: KSelector requires L >= k distinct counters")
+	}
+	return &KSelector{k: k, l: uint64(l), seed: seed}
+}
+
+// K returns the number of indices per flow.
+func (s *KSelector) K() int { return s.k }
+
+// L returns the size of the index space.
+func (s *KSelector) L() int { return int(s.l) }
+
+// Select appends the flow's k distinct counter indices to dst and returns
+// the extended slice. Passing a reusable dst avoids per-call allocation on
+// the hot path. The result is deterministic in (flow, seed).
+func (s *KSelector) Select(flow FlowID, dst []uint32) []uint32 {
+	base := MixWithSeed(uint64(flow), s.seed)
+	step := MixWithSeed(uint64(flow), s.seed^0xa5a5a5a5a5a5a5a5)
+	// Force the stride odd and nonzero: when L is a power of two an odd
+	// stride is coprime to L so double hashing cycles through all slots;
+	// for general L the probing fallback below guarantees distinctness.
+	step |= 1
+	start := len(dst)
+	for i := 0; len(dst)-start < s.k; i++ {
+		idx := uint32((base + uint64(i)*step) % s.l)
+		if containsIdx(dst[start:], idx) {
+			// Collision under double hashing (possible when L is not
+			// coprime with the stride): probe linearly from the collision
+			// point until a fresh slot appears. L >= k guarantees success.
+			for containsIdx(dst[start:], idx) {
+				idx++
+				if uint64(idx) >= s.l {
+					idx = 0
+				}
+			}
+		}
+		dst = append(dst, idx)
+	}
+	return dst
+}
+
+func containsIdx(have []uint32, idx uint32) bool {
+	for _, h := range have {
+		if h == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// PRNG is a tiny SplitMix64 sequence generator used for the per-eviction
+// random unit placement and the random replacement policy. It is seedable
+// and allocation-free, mirroring the LFSR a hardware implementation would
+// use. It intentionally does not implement math/rand.Source so call sites
+// stay monomorphic.
+type PRNG struct{ state uint64 }
+
+// NewPRNG returns a generator seeded with seed.
+func NewPRNG(seed uint64) *PRNG { return &PRNG{state: seed} }
+
+// Next returns the next 64-bit value.
+func (p *PRNG) Next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	return Mix64(p.state)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("hashing: Intn requires n > 0")
+	}
+	// Multiply-shift range reduction; bias is negligible for n << 2^64.
+	hi, _ := bits.Mul64(p.Next(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Next()>>11) / (1 << 53)
+}

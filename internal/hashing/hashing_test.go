@@ -1,0 +1,328 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFiveTupleBytesLayout(t *testing.T) {
+	ft := FiveTuple{
+		SrcIP: 0x0a000001, DstIP: 0xc0a80102,
+		SrcPort: 0x1234, DstPort: 0x0050, Proto: 6,
+	}
+	b := ft.Bytes()
+	want := [13]byte{0x0a, 0, 0, 1, 0xc0, 0xa8, 1, 2, 0x12, 0x34, 0x00, 0x50, 6}
+	if b != want {
+		t.Fatalf("Bytes() = %v, want %v", b, want)
+	}
+}
+
+func TestFiveTupleString(t *testing.T) {
+	ft := FiveTuple{SrcIP: 0x0a000001, DstIP: 0xc0a80102, SrcPort: 80, DstPort: 443, Proto: 17}
+	got := ft.String()
+	want := "10.0.0.1:80 > 192.168.1.2:443 proto=17"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFlowIDDeterministic(t *testing.T) {
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 5}
+	if ft.ID() != ft.ID() {
+		t.Fatal("ID() not deterministic")
+	}
+}
+
+func TestFlowIDSensitivity(t *testing.T) {
+	base := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	variants := []FiveTuple{
+		{SrcIP: 2, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6},
+		{SrcIP: 1, DstIP: 3, SrcPort: 3, DstPort: 4, Proto: 6},
+		{SrcIP: 1, DstIP: 2, SrcPort: 4, DstPort: 4, Proto: 6},
+		{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 5, Proto: 6},
+		{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17},
+	}
+	for i, v := range variants {
+		if v.ID() == base.ID() {
+			t.Errorf("variant %d: ID collided with base", i)
+		}
+	}
+}
+
+func TestFlowIDCollisionRate(t *testing.T) {
+	// With 64-bit IDs, 100k random tuples should essentially never collide.
+	seen := make(map[FlowID]bool, 100000)
+	p := NewPRNG(7)
+	for i := 0; i < 100000; i++ {
+		ft := FiveTuple{
+			SrcIP:   uint32(p.Next()),
+			DstIP:   uint32(p.Next()),
+			SrcPort: uint16(p.Next()),
+			DstPort: uint16(p.Next()),
+			Proto:   byte(6),
+		}
+		id := ft.ID()
+		if seen[id] {
+			t.Fatalf("unexpected 64-bit flow ID collision after %d tuples", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAPHashKnownDifference(t *testing.T) {
+	a := APHash([]byte("flow-a"))
+	b := APHash([]byte("flow-b"))
+	if a == b {
+		t.Fatal("APHash: trivially distinct inputs collided")
+	}
+	if APHash(nil) != 0xAAAAAAAA {
+		t.Fatalf("APHash(nil) = %#x, want initial state 0xAAAAAAAA", APHash(nil))
+	}
+}
+
+func TestBKDRHashBasics(t *testing.T) {
+	if BKDRHash(nil) != 0 {
+		t.Fatal("BKDRHash(nil) != 0")
+	}
+	if BKDRHash([]byte{1}) != 1 {
+		t.Fatalf("BKDRHash([1]) = %d, want 1", BKDRHash([]byte{1}))
+	}
+	if BKDRHash([]byte("abc")) == BKDRHash([]byte("acb")) {
+		t.Fatal("BKDRHash: permuted input collided")
+	}
+}
+
+func TestFNV64Vector(t *testing.T) {
+	// Standard FNV-1a test vectors.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := FNV64([]byte(c.in)); got != c.want {
+			t.Errorf("FNV64(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 must be injective on a sample (it is a bijection by construction;
+	// verify no accidental truncation crept in).
+	seen := make(map[uint64]bool, 4096)
+	for i := uint64(0); i < 4096; i++ {
+		v := Mix64(i)
+		if seen[v] {
+			t.Fatalf("Mix64 produced duplicate output at input %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixWithSeedSeedsDiffer(t *testing.T) {
+	x := uint64(123456789)
+	if MixWithSeed(x, 1) == MixWithSeed(x, 2) {
+		t.Fatal("MixWithSeed: different seeds gave identical output")
+	}
+}
+
+func TestKSelectorDistinctAndDeterministic(t *testing.T) {
+	for _, cfg := range []struct{ k, l int }{
+		{1, 1}, {2, 2}, {3, 7}, {3, 4096}, {5, 10}, {8, 1000}, {3, 3},
+	} {
+		s := NewKSelector(cfg.k, cfg.l, 42)
+		for flow := FlowID(0); flow < 200; flow++ {
+			a := s.Select(flow, nil)
+			b := s.Select(flow, nil)
+			if len(a) != cfg.k {
+				t.Fatalf("k=%d l=%d: got %d indices", cfg.k, cfg.l, len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("k=%d l=%d flow=%d: selection not deterministic", cfg.k, cfg.l, flow)
+				}
+				if int(a[i]) >= cfg.l {
+					t.Fatalf("k=%d l=%d: index %d out of range", cfg.k, cfg.l, a[i])
+				}
+				for j := i + 1; j < len(a); j++ {
+					if a[i] == a[j] {
+						t.Fatalf("k=%d l=%d flow=%d: duplicate index %d", cfg.k, cfg.l, flow, a[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKSelectorAppendsToDst(t *testing.T) {
+	s := NewKSelector(3, 100, 1)
+	dst := make([]uint32, 0, 8)
+	dst = append(dst, 999) // pre-existing content must be preserved
+	dst = s.Select(5, dst)
+	if len(dst) != 4 || dst[0] != 999 {
+		t.Fatalf("Select must append: got %v", dst)
+	}
+}
+
+func TestKSelectorPanics(t *testing.T) {
+	for _, cfg := range []struct{ k, l int }{{0, 10}, {-1, 10}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewKSelector(%d,%d) did not panic", cfg.k, cfg.l)
+				}
+			}()
+			NewKSelector(cfg.k, cfg.l, 0)
+		}()
+	}
+}
+
+func TestKSelectorUniformity(t *testing.T) {
+	// Chi-squared style check: the first index over many flows should cover
+	// [0, L) roughly uniformly.
+	const l = 64
+	const flows = 64000
+	s := NewKSelector(3, l, 9)
+	counts := make([]int, l)
+	buf := make([]uint32, 0, 3)
+	for f := 0; f < flows; f++ {
+		buf = s.Select(FlowID(Mix64(uint64(f))), buf[:0])
+		for _, idx := range buf {
+			counts[idx]++
+		}
+	}
+	mean := float64(flows*3) / l
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 0.15*mean {
+			t.Errorf("slot %d count %d deviates more than 15%% from mean %.1f", i, c, mean)
+		}
+	}
+}
+
+func TestKSelectorPropertyQuick(t *testing.T) {
+	s := NewKSelector(4, 257, 11) // prime L stresses the probing fallback
+	f := func(flow uint64) bool {
+		idx := s.Select(FlowID(flow), nil)
+		if len(idx) != 4 {
+			return false
+		}
+		seen := map[uint32]bool{}
+		for _, i := range idx {
+			if i >= 257 || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRNGIntnBounds(t *testing.T) {
+	p := NewPRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := p.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestPRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewPRNG(1).Intn(0)
+}
+
+func TestPRNGFloat64Range(t *testing.T) {
+	p := NewPRNG(2)
+	var sum float64
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestPRNGIntnUniform(t *testing.T) {
+	p := NewPRNG(3)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[p.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Errorf("Intn bucket %d: count %d deviates >10%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestPRNGSeedsIndependent(t *testing.T) {
+	a, b := NewPRNG(1), NewPRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("differently seeded PRNGs agreed %d/100 times", same)
+	}
+}
+
+func BenchmarkKSelector(b *testing.B) {
+	s := NewKSelector(3, 1<<16, 42)
+	buf := make([]uint32, 0, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.Select(FlowID(i), buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkFlowID(b *testing.B) {
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ft.SrcPort = uint16(i)
+		_ = ft.ID()
+	}
+}
+
+func FuzzKSelector(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint16(100))
+	f.Add(uint64(0), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, flow uint64, kRaw uint8, lRaw uint16) {
+		k := int(kRaw%8) + 1
+		l := int(lRaw) + k // guarantee L >= k
+		s := NewKSelector(k, l, 42)
+		idx := s.Select(FlowID(flow), nil)
+		if len(idx) != k {
+			t.Fatalf("got %d indices, want %d", len(idx), k)
+		}
+		seen := map[uint32]bool{}
+		for _, i := range idx {
+			if int(i) >= l || seen[i] {
+				t.Fatalf("invalid or duplicate index %d (k=%d l=%d)", i, k, l)
+			}
+			seen[i] = true
+		}
+	})
+}

@@ -1,0 +1,465 @@
+// Package hwsim is the hardware timing substrate standing in for the
+// paper's Xilinx Virtex-7 FPGA prototype (Section 6.2): a cycle-level cost
+// model of the three measurement pipelines — CAESAR, CASE, and RCS — fed by
+// the latency figures the paper itself states (1 ns on-chip memory, 3–10 ns
+// QDR-style off-chip SRAM, a 18.912 MHz design clock with a 36-bit packet
+// input bus).
+//
+// The model reproduces the two hardware effects Figure 8 and Figure 7 turn
+// on:
+//
+//   - Off-chip pressure. Every scheme funnels updates through a single
+//     off-chip SRAM port behind a bounded write buffer. RCS issues one
+//     read-modify-write per packet, so beyond the buffer depth its
+//     processing time bends upward ("the processing time of RCS drastically
+//     increases", Section 6.4) while the cache-assisted schemes amortize
+//     off-chip work over y packets per eviction.
+//
+//   - Compression cost. CASE pays floating-point power operations in its
+//     compression step on the per-packet path ("CASE is more time-consuming
+//     than RCS and CAESAR due to its high computational cost of power
+//     operations"), while CAESAR only hashes and adds.
+//
+// The loss rates the paper assumes for cache-free RCS (2/3 and 9/10,
+// Figure 7) fall out of the same constants: a line that keeps a 1 ns
+// on-chip stage saturated overruns a 3 ns SRAM by 2/3 and a 10 ns SRAM by
+// 9/10 — see RCSLossRate.
+package hwsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec holds the hardware constants of the model.
+type Spec struct {
+	// ClockMHz is the design clock (paper: 18.912 MHz).
+	ClockMHz float64
+	// OnChipNs is one on-chip cache/RAM access (paper: 1 ns).
+	OnChipNs float64
+	// SRAMNs is one off-chip SRAM access (paper: 3–10 ns; default 5).
+	SRAMNs float64
+	// SRAMTurnaroundNs is the per-transaction bus turnaround/arbitration
+	// overhead of an off-chip read-modify-write burst. A counter increment
+	// costs 2·SRAMNs + SRAMTurnaroundNs — with the defaults, 40 ns, the
+	// DRAM-class figure the paper quotes for slow off-chip updates.
+	SRAMTurnaroundNs float64
+	// HashNs is one hardware hash evaluation (pipelined, 1 ns).
+	HashNs float64
+	// PowNs is one floating-point power/log operation — the expensive unit
+	// in CASE's compression step.
+	PowNs float64
+	// WriteBufferDepth is the off-chip write FIFO depth; RCS's processing
+	// time bends upward once it fills (around 10^4 packets in Figure 8).
+	WriteBufferDepth int
+	// InputBufferDepth is the line-side packet FIFO used by the loss model.
+	InputBufferDepth int
+}
+
+// DefaultSpec returns the constants used throughout the reproduction,
+// matching the paper's stated platform numbers.
+func DefaultSpec() Spec {
+	return Spec{
+		ClockMHz:         18.912,
+		OnChipNs:         1,
+		SRAMNs:           5,
+		SRAMTurnaroundNs: 30,
+		HashNs:           1,
+		PowNs:            20,
+		WriteBufferDepth: 8192,
+		InputBufferDepth: 1024,
+	}
+}
+
+func (s Spec) validate() error {
+	if s.OnChipNs <= 0 || s.SRAMNs <= 0 || s.HashNs < 0 || s.PowNs < 0 || s.SRAMTurnaroundNs < 0 {
+		return fmt.Errorf("hwsim: latencies must be positive (%+v)", s)
+	}
+	if s.WriteBufferDepth < 1 || s.InputBufferDepth < 1 {
+		return fmt.Errorf("hwsim: buffer depths must be >= 1 (%+v)", s)
+	}
+	if s.ClockMHz <= 0 {
+		return fmt.Errorf("hwsim: clock must be positive (%+v)", s)
+	}
+	return nil
+}
+
+// ClockNs returns the design clock period in nanoseconds.
+func (s Spec) ClockNs() float64 { return 1e3 / s.ClockMHz }
+
+// ThroughputMbps returns the input throughput of the modeled front end with
+// the paper's 36-bit packet-ID bus: bits per cycle times clock
+// (paper: 36 bit × 18.912 MHz = 680.832 Mbps).
+func (s Spec) ThroughputMbps(busBits int) float64 {
+	return float64(busBits) * s.ClockMHz
+}
+
+// RCSLossRate is the Figure 7 loss model: a line rate that saturates the
+// on-chip stage overruns the off-chip SRAM by 1 − onChip/SRAM. With the
+// paper's 1 ns vs 3 ns that is 2/3; with 1 ns vs 10 ns it is 9/10.
+func RCSLossRate(onChipNs, sramNs float64) float64 {
+	if sramNs <= onChipNs {
+		return 0
+	}
+	return 1 - onChipNs/sramNs
+}
+
+// SustainablePacketNs returns a scheme's steady-state per-packet service
+// time: the larger of its on-chip pipeline time and its amortized off-chip
+// port occupancy. The inverse is the line rate the scheme can sustain
+// without loss.
+func SustainablePacketNs(scheme Scheme, spec Spec, k, y int) (float64, error) {
+	if err := spec.validate(); err != nil {
+		return 0, err
+	}
+	if k < 1 || y < 1 {
+		return 0, fmt.Errorf("hwsim: need k >= 1 and y >= 1, got %d/%d", k, y)
+	}
+	rmw := 2*spec.SRAMNs + spec.SRAMTurnaroundNs
+	switch scheme {
+	case RCS:
+		return math.Max(spec.HashNs+spec.OnChipNs, rmw), nil
+	case CASE:
+		return math.Max(spec.HashNs+spec.OnChipNs+spec.PowNs,
+			(2*spec.PowNs+rmw)/float64(y)), nil
+	case CAESAR:
+		return math.Max(spec.HashNs+spec.OnChipNs,
+			float64(k)*rmw/float64(y)), nil
+	default:
+		return 0, fmt.Errorf("hwsim: unknown scheme %d", scheme)
+	}
+}
+
+// SustainableMbps converts the sustainable packet rate to a line rate for a
+// given average packet size in bits (the paper's bus is 36-bit packet IDs;
+// real links carry full packets).
+func SustainableMbps(scheme Scheme, spec Spec, k, y, packetBits int) (float64, error) {
+	ns, err := SustainablePacketNs(scheme, spec, k, y)
+	if err != nil {
+		return 0, err
+	}
+	return float64(packetBits) / ns * 1e3, nil
+}
+
+// Work describes what one packet costs in a scheme's pipeline.
+type Work struct {
+	// PipelineNs is the in-order on-chip stage time.
+	PipelineNs float64
+	// OffChip lists the durations of off-chip SRAM port operations this
+	// packet enqueues (empty for pure-cache hits).
+	OffChip []float64
+}
+
+// Result summarizes a timing run.
+type Result struct {
+	// Packets offered to the pipeline.
+	Packets int
+	// Processed packets (Packets minus Dropped).
+	Processed int
+	// Dropped packets (loss-model runs only).
+	Dropped int
+	// ProcessingNs is when the on-chip stage finished ingesting the stream
+	// — the quantity Figure 8 plots. While the off-chip write buffer has
+	// room, writes drain in the background and do not delay ingest; once it
+	// fills, off-chip speed throttles ingest (RCS's bend).
+	ProcessingNs float64
+	// DrainNs is when the last off-chip operation retired
+	// (>= ProcessingNs).
+	DrainNs float64
+	// OffChipOps is the number of SRAM port operations issued.
+	OffChipOps int
+}
+
+// LossRate returns Dropped/Packets.
+func (r Result) LossRate() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Packets)
+}
+
+// Pipeline is the shared execution engine: an in-order on-chip stage plus a
+// single off-chip SRAM port behind a bounded write FIFO. When the FIFO is
+// full the on-chip stage stalls until a slot frees — the backpressure that
+// bends RCS's curve in Figure 8.
+type Pipeline struct {
+	spec Spec
+}
+
+// NewPipeline builds an engine from spec.
+func NewPipeline(spec Spec) (*Pipeline, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{spec: spec}, nil
+}
+
+// Spec returns the hardware constants.
+func (p *Pipeline) Spec() Spec { return p.spec }
+
+// Run processes n packets back to back (input always available — the
+// Figure 8 setting, which measures time to process a fixed packet count).
+// work is called once per packet index.
+func (p *Pipeline) Run(n int, work func(i int) Work) Result {
+	return p.run(n, work, 0)
+}
+
+// RunAtLineRate offers packet i at time i*arrivalNs. If the on-chip stage
+// is backlogged by more than InputBufferDepth arrivals when a packet shows
+// up, the packet is dropped — the Figure 7 loss mechanism.
+func (p *Pipeline) RunAtLineRate(n int, arrivalNs float64, work func(i int) Work) Result {
+	if arrivalNs <= 0 {
+		panic("hwsim: arrivalNs must be positive")
+	}
+	return p.run(n, work, arrivalNs)
+}
+
+func (p *Pipeline) run(n int, work func(i int) Work, arrivalNs float64) Result {
+	var (
+		res        Result
+		pipeFree   float64 // when the on-chip stage frees up
+		sramFree   float64 // when the SRAM port frees up
+		completion = newRing(p.spec.WriteBufferDepth)
+		lastDone   float64
+	)
+	res.Packets = n
+	for i := 0; i < n; i++ {
+		if arrivalNs > 0 {
+			arrive := float64(i) * arrivalNs
+			if pipeFree-arrive > float64(p.spec.InputBufferDepth)*arrivalNs {
+				res.Dropped++
+				continue
+			}
+			if arrive > pipeFree {
+				pipeFree = arrive
+			}
+		}
+		w := work(i)
+		pipeFree += w.PipelineNs
+		for _, opNs := range w.OffChip {
+			// Retire completed off-chip ops.
+			for !completion.empty() && completion.front() <= pipeFree {
+				completion.pop()
+			}
+			if completion.full() {
+				// Write FIFO full: the pipeline stalls until the oldest
+				// outstanding op retires.
+				pipeFree = completion.pop()
+			}
+			start := math.Max(pipeFree, sramFree)
+			done := start + opNs
+			sramFree = done
+			completion.push(done)
+			res.OffChipOps++
+			if done > lastDone {
+				lastDone = done
+			}
+		}
+		res.Processed++
+	}
+	res.ProcessingNs = pipeFree
+	res.DrainNs = math.Max(pipeFree, lastDone)
+	return res
+}
+
+// ring is a fixed-capacity FIFO of completion times.
+type ring struct {
+	buf        []float64
+	head, size int
+}
+
+func newRing(n int) *ring { return &ring{buf: make([]float64, n)} }
+
+func (r *ring) empty() bool { return r.size == 0 }
+func (r *ring) full() bool  { return r.size == len(r.buf) }
+
+func (r *ring) front() float64 { return r.buf[r.head] }
+
+func (r *ring) pop() float64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v
+}
+
+func (r *ring) push(v float64) {
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+}
+
+// --- Scheme cost models ----------------------------------------------------
+
+// Scheme identifies one of the three measurement pipelines.
+type Scheme int
+
+const (
+	// CAESAR: hash + cache access per packet; k coalesced SRAM adds per
+	// eviction (once every ~y packets).
+	CAESAR Scheme = iota
+	// CASE: hash + cache access + compression power op per packet; one
+	// stretch (2 power ops) + SRAM write per eviction.
+	CASE
+	// RCS: hash per packet and one SRAM read-modify-write per packet — no
+	// cache to absorb the off-chip pressure.
+	RCS
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case CAESAR:
+		return "CAESAR"
+	case CASE:
+		return "CASE"
+	case RCS:
+		return "RCS"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// WorkModel produces per-packet Work for a scheme under workload
+// parameters: K mapped counters and cache capacity Y (evictions amortize as
+// one per Y packets, the steady-state overflow rate of Section 4.2).
+type WorkModel struct {
+	Scheme Scheme
+	Spec   Spec
+	K      int
+	Y      int
+
+	scratch []float64
+}
+
+// NewWorkModel validates and builds a cost model.
+func NewWorkModel(scheme Scheme, spec Spec, k, y int) (*WorkModel, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hwsim: k must be >= 1, got %d", k)
+	}
+	if y < 1 {
+		return nil, fmt.Errorf("hwsim: y must be >= 1, got %d", y)
+	}
+	if scheme != CAESAR && scheme != CASE && scheme != RCS {
+		return nil, fmt.Errorf("hwsim: unknown scheme %d", scheme)
+	}
+	return &WorkModel{Scheme: scheme, Spec: spec, K: k, Y: y,
+		scratch: make([]float64, 0, k)}, nil
+}
+
+// Work returns packet i's cost. The returned OffChip slice is reused
+// across calls; callers must consume it before the next call (Pipeline.Run
+// does).
+func (m *WorkModel) Work(i int) Work {
+	sp := m.Spec
+	rmw := 2*sp.SRAMNs + sp.SRAMTurnaroundNs // off-chip read-modify-write
+	switch m.Scheme {
+	case RCS:
+		// Hash the flow, enqueue one counter read-modify-write.
+		m.scratch = append(m.scratch[:0], rmw)
+		return Work{PipelineNs: sp.HashNs + sp.OnChipNs, OffChip: m.scratch}
+	case CASE:
+		w := Work{PipelineNs: sp.HashNs + sp.OnChipNs + sp.PowNs}
+		if (i+1)%m.Y == 0 {
+			m.scratch = append(m.scratch[:0], 2*sp.PowNs+rmw)
+			w.OffChip = m.scratch
+		}
+		return w
+	default: // CAESAR
+		w := Work{PipelineNs: sp.HashNs + sp.OnChipNs}
+		if (i+1)%m.Y == 0 {
+			m.scratch = m.scratch[:0]
+			for j := 0; j < m.K; j++ {
+				m.scratch = append(m.scratch, rmw)
+			}
+			w.OffChip = m.scratch
+		}
+		return w
+	}
+}
+
+// ProcessingTime runs scheme over n packets (input always available) and
+// returns the result — one point of a Figure 8 series.
+func ProcessingTime(scheme Scheme, spec Spec, k, y, n int) (Result, error) {
+	m, err := NewWorkModel(scheme, spec, k, y)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := NewPipeline(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Run(n, m.Work), nil
+}
+
+// SeriesPoint is one x-position of the Figure 8 plot.
+type SeriesPoint struct {
+	Packets int
+	// Ns per scheme.
+	CAESARNs, CASENs, RCSNs float64
+}
+
+// Speedups returns CAESAR's relative speedup vs CASE and RCS at this point:
+// (t_other − t_caesar)/t_other, the paper's "X% faster" metric.
+func (pt SeriesPoint) Speedups() (vsCASE, vsRCS float64) {
+	if pt.CASENs > 0 {
+		vsCASE = (pt.CASENs - pt.CAESARNs) / pt.CASENs
+	}
+	if pt.RCSNs > 0 {
+		vsRCS = (pt.RCSNs - pt.CAESARNs) / pt.RCSNs
+	}
+	return
+}
+
+// ProcessingTimeSeries computes the full Figure 8 sweep for the given
+// packet counts.
+func ProcessingTimeSeries(spec Spec, k, y int, counts []int) ([]SeriesPoint, error) {
+	pts := make([]SeriesPoint, 0, len(counts))
+	for _, n := range counts {
+		if n < 1 {
+			return nil, fmt.Errorf("hwsim: packet count must be >= 1, got %d", n)
+		}
+		var pt SeriesPoint
+		pt.Packets = n
+		for _, scheme := range []Scheme{CAESAR, CASE, RCS} {
+			r, err := ProcessingTime(scheme, spec, k, y, n)
+			if err != nil {
+				return nil, err
+			}
+			switch scheme {
+			case CAESAR:
+				pt.CAESARNs = r.ProcessingNs
+			case CASE:
+				pt.CASENs = r.ProcessingNs
+			case RCS:
+				pt.RCSNs = r.ProcessingNs
+			}
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// AverageSpeedups aggregates a series into the paper's headline numbers:
+// average and maximum speedup of CAESAR vs CASE and vs RCS
+// (paper: avg 74.8% / max 92.4% vs CASE, avg 75.5% / max 90% vs RCS).
+func AverageSpeedups(series []SeriesPoint) (avgCASE, maxCASE, avgRCS, maxRCS float64) {
+	if len(series) == 0 {
+		return
+	}
+	for _, pt := range series {
+		c, r := pt.Speedups()
+		avgCASE += c
+		avgRCS += r
+		if c > maxCASE {
+			maxCASE = c
+		}
+		if r > maxRCS {
+			maxRCS = r
+		}
+	}
+	avgCASE /= float64(len(series))
+	avgRCS /= float64(len(series))
+	return
+}

@@ -1,0 +1,107 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// ScheduleWork replays a recorded eviction schedule instead of the
+// WorkModel's steady-state amortization (one eviction every y packets).
+// Replaying a real cache run validates the amortized Figure 8 model: burst
+// arrivals and pressure evictions cluster off-chip work, which only matters
+// if the write buffer is too shallow to smooth it.
+type ScheduleWork struct {
+	Scheme Scheme
+	Spec   Spec
+	K      int
+	// evictions[i] is how many cache evictions packet i triggered.
+	evictions []uint8
+
+	scratch []float64
+}
+
+// RecordSchedule runs the on-chip cache over a packet stream and records,
+// per packet, how many evictions (overflow + pressure) it caused; the final
+// flush is folded into the last packet, since the hardware dumps the cache
+// at measurement end.
+func RecordSchedule(flows []hashing.FlowID, entries int, capacity uint64, policy cache.Policy, seed uint64) ([]uint8, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("hwsim: empty packet stream")
+	}
+	evictions := make([]uint8, len(flows))
+	cur := -1
+	c, err := cache.New(cache.Config{
+		Entries:  entries,
+		Capacity: capacity,
+		Policy:   policy,
+		Seed:     seed,
+		OnEvict: func(hashing.FlowID, uint64, cache.Reason) {
+			if cur >= 0 && evictions[cur] < 255 {
+				evictions[cur]++
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range flows {
+		cur = i
+		c.Observe(f)
+	}
+	cur = len(flows) - 1
+	c.Flush()
+	return evictions, nil
+}
+
+// NewScheduleWork builds a replay cost model for CAESAR or CASE (RCS has no
+// cache and therefore no schedule to replay).
+func NewScheduleWork(scheme Scheme, spec Spec, k int, evictions []uint8) (*ScheduleWork, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if scheme != CAESAR && scheme != CASE {
+		return nil, fmt.Errorf("hwsim: schedule replay supports CAESAR and CASE, not %v", scheme)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("hwsim: k must be >= 1, got %d", k)
+	}
+	if len(evictions) == 0 {
+		return nil, fmt.Errorf("hwsim: empty eviction schedule")
+	}
+	return &ScheduleWork{Scheme: scheme, Spec: spec, K: k, evictions: evictions}, nil
+}
+
+// Len returns the schedule length in packets.
+func (m *ScheduleWork) Len() int { return len(m.evictions) }
+
+// Work returns packet i's cost under the recorded schedule. Indices beyond
+// the schedule wrap around, so a Pipeline can be run for any n.
+func (m *ScheduleWork) Work(i int) Work {
+	sp := m.Spec
+	rmw := 2*sp.SRAMNs + sp.SRAMTurnaroundNs
+	ev := int(m.evictions[i%len(m.evictions)])
+	switch m.Scheme {
+	case CASE:
+		w := Work{PipelineNs: sp.HashNs + sp.OnChipNs + sp.PowNs}
+		if ev > 0 {
+			m.scratch = m.scratch[:0]
+			for j := 0; j < ev; j++ {
+				m.scratch = append(m.scratch, 2*sp.PowNs+rmw)
+			}
+			w.OffChip = m.scratch
+		}
+		return w
+	default: // CAESAR
+		w := Work{PipelineNs: sp.HashNs + sp.OnChipNs}
+		if ev > 0 {
+			m.scratch = m.scratch[:0]
+			for j := 0; j < ev*m.K; j++ {
+				m.scratch = append(m.scratch, rmw)
+			}
+			w.OffChip = m.scratch
+		}
+		return w
+	}
+}

@@ -1,0 +1,156 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func syntheticStream(n, flows int, seed uint64) []hashing.FlowID {
+	rng := hashing.NewPRNG(seed)
+	out := make([]hashing.FlowID, n)
+	for i := range out {
+		out[i] = hashing.FlowID(rng.Intn(flows))
+	}
+	return out
+}
+
+func TestRecordScheduleConservesEvictions(t *testing.T) {
+	stream := syntheticStream(50000, 300, 1)
+	const y = 16
+	evs, err := RecordSchedule(stream, 64, y, cache.LRU, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(stream) {
+		t.Fatalf("schedule length %d, want %d", len(evs), len(stream))
+	}
+	// Total evicted mass is n (mass conservation); each eviction carries at
+	// most y units, so #evictions >= n/y, and every packet triggers at most
+	// a couple of evictions.
+	total := 0
+	for _, e := range evs {
+		total += int(e)
+	}
+	if total < len(stream)/y {
+		t.Fatalf("%d evictions for %d packets at y=%d: too few", total, len(stream), y)
+	}
+	if total > len(stream) {
+		t.Fatalf("%d evictions exceed packet count", total)
+	}
+}
+
+func TestRecordScheduleValidation(t *testing.T) {
+	if _, err := RecordSchedule(nil, 4, 4, cache.LRU, 1); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := RecordSchedule(syntheticStream(10, 5, 1), 0, 4, cache.LRU, 1); err == nil {
+		t.Error("bad cache config accepted")
+	}
+}
+
+func TestNewScheduleWorkValidation(t *testing.T) {
+	evs := []uint8{0, 1, 0}
+	if _, err := NewScheduleWork(RCS, DefaultSpec(), 3, evs); err == nil {
+		t.Error("RCS schedule accepted")
+	}
+	if _, err := NewScheduleWork(CAESAR, DefaultSpec(), 0, evs); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewScheduleWork(CAESAR, DefaultSpec(), 3, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewScheduleWork(CAESAR, Spec{}, 3, evs); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestScheduleReplayValidatesAmortizedModel(t *testing.T) {
+	// The Figure 8 model spreads evictions uniformly (one per y packets).
+	// Replay a real cache schedule — bursty, with pressure evictions
+	// clustered on cold flows — and compare against the uniform model at
+	// the SAME total eviction rate: the write buffer must smooth the bursts
+	// so both agree, validating the amortization.
+	spec := DefaultSpec()
+	const (
+		n     = 200000
+		flows = 2000
+		y     = 54
+	)
+	stream := syntheticStream(n, flows, 3)
+	evs, err := RecordSchedule(stream, flows/8, y, cache.LRU, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalEv := 0
+	for _, e := range evs {
+		totalEv += int(e)
+	}
+	if totalEv == 0 {
+		t.Fatal("schedule recorded no evictions")
+	}
+	replay, err := NewScheduleWork(CAESAR, spec, 3, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realRun := p.Run(n, replay.Work)
+
+	yEff := n / totalEv // uniform model at the measured eviction rate
+	if yEff < 1 {
+		yEff = 1
+	}
+	amortized, err := ProcessingTime(CAESAR, spec, 3, yEff, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := realRun.ProcessingNs / amortized.ProcessingNs
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("replayed/uniform time ratio %.2f at equal eviction rate (real %v vs %v): bursts not absorbed",
+			ratio, realRun.ProcessingNs, amortized.ProcessingNs)
+	}
+	if realRun.OffChipOps != totalEv*3 {
+		t.Fatalf("replay issued %d off-chip ops, want %d", realRun.OffChipOps, totalEv*3)
+	}
+}
+
+func TestScheduleWraps(t *testing.T) {
+	evs := []uint8{0, 2}
+	m, err := NewScheduleWork(CAESAR, DefaultSpec(), 3, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if got := m.Work(0); len(got.OffChip) != 0 {
+		t.Fatalf("packet 0 work = %+v", got)
+	}
+	if got := m.Work(1); len(got.OffChip) != 2*3 {
+		t.Fatalf("packet 1 off-chip ops = %d, want 6", len(got.OffChip))
+	}
+	if got := m.Work(3); len(got.OffChip) != 6 {
+		t.Fatal("schedule did not wrap")
+	}
+}
+
+func TestScheduleCASEIncludesPowOps(t *testing.T) {
+	spec := DefaultSpec()
+	m, err := NewScheduleWork(CASE, spec, 3, []uint8{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Work(0)
+	if w.PipelineNs != spec.HashNs+spec.OnChipNs+spec.PowNs {
+		t.Fatalf("CASE pipeline cost %v", w.PipelineNs)
+	}
+	wantOp := 2*spec.PowNs + 2*spec.SRAMNs + spec.SRAMTurnaroundNs
+	if len(w.OffChip) != 1 || math.Abs(w.OffChip[0]-wantOp) > 1e-9 {
+		t.Fatalf("CASE off-chip = %v, want [%v]", w.OffChip, wantOp)
+	}
+}

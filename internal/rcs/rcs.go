@@ -1,0 +1,234 @@
+// Package rcs implements Randomized Counter Sharing (Li et al., IEEE
+// INFOCOM 2011), the cache-free baseline the paper compares against
+// (Section 6.3.3) and the scheme CAESAR generalizes: RCS is exactly CAESAR
+// with cache capacity y = 1.
+//
+// Online: every packet increments one uniformly chosen counter among the
+// flow's k mapped counters — one off-chip SRAM write per packet, which is
+// why real RCS cannot keep line rate. The paper substitutes empirical
+// packet-loss rates of 2/3 and 9/10 for that slowness (Figure 7); the
+// LossRate knob reproduces exactly that front end.
+//
+// Offline: CSM (counter sum) estimation identical in form to CAESAR's, and
+// the original MLM decoder, which has no closed form and runs an iterative
+// search — the reason Figure 6 omits RCS-MLM ("its binary search is
+// extremely slow").
+package rcs
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/counters"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Config parameterizes an RCS sketch.
+type Config struct {
+	// K is the number of counters in each flow's storage vector.
+	K int
+	// L is the total number of SRAM counters.
+	L int
+	// CounterBits is the counter width; defaults to 32.
+	CounterBits int
+	// Seed drives hashing and the per-packet counter choice.
+	Seed uint64
+	// LossRate in [0, 1) drops each packet independently before counting —
+	// the paper's stand-in for the SRAM being slower than the line rate
+	// (2/3 and 9/10 in Figure 7). Zero models the Figure 6 lossless
+	// assumption.
+	LossRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.CounterBits == 0 {
+		c.CounterBits = 32
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("rcs: K must be >= 1, got %d", c.K)
+	}
+	if c.L < c.K {
+		return fmt.Errorf("rcs: L (%d) must be >= K (%d)", c.L, c.K)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 || math.IsNaN(c.LossRate) {
+		return fmt.Errorf("rcs: LossRate must be in [0,1), got %v", c.LossRate)
+	}
+	return nil
+}
+
+// Sketch is an RCS instance in its online phase.
+type Sketch struct {
+	cfg      Config
+	sram     *counters.Array
+	sel      *hashing.KSelector
+	rng      *hashing.PRNG
+	lossRng  *hashing.PRNG
+	idxBuf   []uint32
+	recorded uint64
+	dropped  uint64
+}
+
+// New builds an RCS sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sram, err := counters.NewArray(cfg.L, cfg.CounterBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		cfg:     cfg,
+		sram:    sram,
+		sel:     hashing.NewKSelector(cfg.K, cfg.L, cfg.Seed),
+		rng:     hashing.NewPRNG(cfg.Seed ^ 0x0ddba11),
+		lossRng: hashing.NewPRNG(cfg.Seed ^ 0x10551055),
+	}, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (s *Sketch) Config() Config { return s.cfg }
+
+// Observe processes one packet. It reports whether the packet was recorded
+// (false means it was dropped by the loss front end).
+func (s *Sketch) Observe(flow hashing.FlowID) bool {
+	if s.cfg.LossRate > 0 && s.lossRng.Float64() < s.cfg.LossRate {
+		s.dropped++
+		return false
+	}
+	s.idxBuf = s.sel.Select(flow, s.idxBuf[:0])
+	r := s.rng.Intn(s.cfg.K)
+	s.sram.Add(int(s.idxBuf[r]), 1)
+	s.recorded++
+	return true
+}
+
+// Recorded returns how many packets reached the counters.
+func (s *Sketch) Recorded() uint64 { return s.recorded }
+
+// Dropped returns how many packets the loss front end discarded.
+func (s *Sketch) Dropped() uint64 { return s.dropped }
+
+// SRAM exposes the counter array.
+func (s *Sketch) SRAM() *counters.Array { return s.sram }
+
+// MemoryKB returns the SRAM footprint; RCS has no cache memory cost.
+func (s *Sketch) MemoryKB() float64 { return s.sram.MemoryKB() }
+
+// Estimator returns the offline query view. The noise mass is what was
+// actually recorded: under loss, RCS estimates the recorded portion of a
+// flow, and the evaluation compares that against the true size — which is
+// precisely why Figure 7's relative errors track the loss rate.
+func (s *Sketch) Estimator() *Estimator {
+	return &Estimator{
+		K:         s.cfg.K,
+		TotalMass: float64(s.recorded),
+		sel:       s.sel,
+		sram:      s.sram,
+	}
+}
+
+// Estimator answers offline RCS queries.
+type Estimator struct {
+	// K is the storage vector length.
+	K int
+	// TotalMass is the number of recorded packets.
+	TotalMass float64
+
+	sel  *hashing.KSelector
+	sram *counters.Array
+
+	idxBuf []uint32
+	valBuf []uint64
+}
+
+// NewEstimator builds a query view over an existing array (e.g. loaded from
+// disk). seed must match the online phase.
+func NewEstimator(sram *counters.Array, k int, seed uint64, totalMass float64) (*Estimator, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rcs: k must be >= 1, got %d", k)
+	}
+	if sram.Len() < k {
+		return nil, fmt.Errorf("rcs: SRAM has %d counters, need >= %d", sram.Len(), k)
+	}
+	if totalMass < 0 || math.IsNaN(totalMass) {
+		return nil, fmt.Errorf("rcs: invalid total mass %v", totalMass)
+	}
+	return &Estimator{
+		K:         k,
+		TotalMass: totalMass,
+		sel:       hashing.NewKSelector(k, sram.Len(), seed),
+		sram:      sram,
+	}, nil
+}
+
+func (e *Estimator) subSRAM(flow hashing.FlowID) []uint64 {
+	e.idxBuf = e.sel.Select(flow, e.idxBuf[:0])
+	e.valBuf = e.sram.SubSRAM(e.idxBuf, e.valBuf[:0])
+	return e.valBuf
+}
+
+// CSM is the counter sum estimation of the RCS paper:
+// x̂ = Σ_{r} C_f[r] − k·n/L.
+func (e *Estimator) CSM(flow hashing.FlowID) float64 {
+	var sum uint64
+	for _, w := range e.subSRAM(flow) {
+		sum += w
+	}
+	return float64(sum) - float64(e.K)*e.TotalMass/float64(e.sram.Len())
+}
+
+// MLM is the RCS maximum-likelihood decoder: it searches for the x that
+// maximizes the Gaussian-approximated likelihood of the observed counter
+// values, each modeled as w_r ~ N(x/k + n/L, x·(1/k)(1−1/k) + n/L).
+// There is no closed form; the implementation runs a golden-section search,
+// which is why the paper calls RCS-MLM "extremely slow" and omits it from
+// Figure 6's MLM panel.
+func (e *Estimator) MLM(flow hashing.FlowID) float64 {
+	vals := e.subSRAM(flow)
+	w := make([]float64, len(vals))
+	var sum float64
+	for i, v := range vals {
+		w[i] = float64(v)
+		sum += w[i]
+	}
+	noise := e.TotalMass / float64(e.sram.Len())
+	k := float64(e.K)
+
+	negLL := func(x float64) float64 {
+		mu := x/k + noise
+		va := x*(1/k)*(1-1/k) + noise
+		if va < 1e-9 {
+			va = 1e-9
+		}
+		var nll float64
+		for _, wi := range w {
+			d := wi - mu
+			nll += d*d/(2*va) + 0.5*math.Log(va)
+		}
+		return nll
+	}
+
+	// Golden-section search on [0, k*sum]: the negative log-likelihood is
+	// unimodal in x for this Gaussian family.
+	lo, hi := 0.0, k*sum+1
+	const phi = 0.6180339887498949
+	for i := 0; i < 200 && hi-lo > 1e-6; i++ {
+		m1 := hi - phi*(hi-lo)
+		m2 := lo + phi*(hi-lo)
+		if negLL(m1) < negLL(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,255 @@
+package rcs
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/counters"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+func mustSketch(t testing.TB, cfg Config) *Sketch {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: -1, L: 100},
+		{K: 5, L: 3},
+		{K: 3, L: 100, LossRate: -0.1},
+		{K: 3, L: 100, LossRate: 1},
+		{K: 3, L: 100, LossRate: math.NaN()},
+		{K: 3, L: 100, CounterBits: 65},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	s := mustSketch(t, Config{L: 100})
+	if s.Config().K != 3 || s.Config().CounterBits != 32 {
+		t.Errorf("defaults not applied: %+v", s.Config())
+	}
+}
+
+func TestLosslessMassConservation(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 128, Seed: 1})
+	rng := hashing.NewPRNG(2)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		if !s.Observe(hashing.FlowID(rng.Intn(500))) {
+			t.Fatal("lossless sketch dropped a packet")
+		}
+	}
+	if s.SRAM().Sum() != n || s.Recorded() != n || s.Dropped() != 0 {
+		t.Fatalf("mass=%d recorded=%d dropped=%d", s.SRAM().Sum(), s.Recorded(), s.Dropped())
+	}
+}
+
+func TestPacketsLandOnMappedCounters(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 64, Seed: 7})
+	const x = 6000
+	for i := 0; i < x; i++ {
+		s.Observe(55)
+	}
+	idx := hashing.NewKSelector(3, 64, 7).Select(55, nil)
+	var total uint64
+	for _, i := range idx {
+		v := s.SRAM().Get(int(i))
+		total += v
+		mean, sd := float64(x)/3, math.Sqrt(float64(x)*(1.0/3)*(2.0/3))
+		if math.Abs(float64(v)-mean) > 6*sd {
+			t.Errorf("counter %d = %d, want ~%.0f", i, v, mean)
+		}
+	}
+	if total != x {
+		t.Fatalf("flow mass on mapped counters = %d, want %d", total, x)
+	}
+}
+
+func TestLossRateApproximatelyHonored(t *testing.T) {
+	for _, rate := range []float64{2.0 / 3, 9.0 / 10} {
+		s := mustSketch(t, Config{K: 3, L: 128, Seed: 3, LossRate: rate})
+		const n = 100000
+		for i := 0; i < n; i++ {
+			s.Observe(hashing.FlowID(i % 100))
+		}
+		got := float64(s.Dropped()) / n
+		if math.Abs(got-rate) > 0.01 {
+			t.Errorf("loss %.3f, want ~%.3f", got, rate)
+		}
+		if s.Recorded()+s.Dropped() != n {
+			t.Errorf("recorded+dropped = %d, want %d", s.Recorded()+s.Dropped(), n)
+		}
+		if s.SRAM().Sum() != s.Recorded() {
+			t.Errorf("SRAM mass %d != recorded %d", s.SRAM().Sum(), s.Recorded())
+		}
+	}
+}
+
+func TestCSMRecoverIsolatedFlow(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 1 << 14, Seed: 4})
+	const x = 2000
+	for i := 0; i < x; i++ {
+		s.Observe(9)
+	}
+	e := s.Estimator()
+	noise := 3 * float64(x) / float64(1<<14)
+	if got := e.CSM(9); math.Abs(got-x) > noise+1e-9 {
+		t.Fatalf("CSM = %v, want ~%d", got, x)
+	}
+}
+
+func TestMLMRecoverIsolatedFlow(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 1 << 14, Seed: 4})
+	const x = 2000
+	for i := 0; i < x; i++ {
+		s.Observe(9)
+	}
+	e := s.Estimator()
+	if got := e.MLM(9); math.Abs(got-x) > 0.05*x {
+		t.Fatalf("MLM = %v, want ~%d", got, x)
+	}
+}
+
+func TestMLMZeroCounters(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 64, Seed: 5})
+	e := s.Estimator()
+	if got := e.MLM(1234); got > 1 {
+		t.Fatalf("MLM of untouched flow = %v, want ~0", got)
+	}
+	if got := e.CSM(1234); got != 0 {
+		t.Fatalf("CSM of untouched flow with empty SRAM = %v, want 0", got)
+	}
+}
+
+func TestLossyUnderestimatesByLossRate(t *testing.T) {
+	// Figure 7's shape: without rescaling, RCS under loss p estimates
+	// ~(1-p)·x, so the relative error of large flows approaches p
+	// (the paper reports ARE 67.68% at p=2/3 and 90.06% at p=9/10).
+	for _, rate := range []float64{2.0 / 3, 9.0 / 10} {
+		s := mustSketch(t, Config{K: 3, L: 4096, Seed: 6, LossRate: rate})
+		const x = 50000
+		for i := 0; i < x; i++ {
+			s.Observe(77)
+		}
+		got := s.Estimator().CSM(77)
+		re := stats.RelativeError(got, x)
+		if math.Abs(re-rate) > 0.05 {
+			t.Errorf("loss %.2f: relative error %.3f, want ~%.3f", rate, re, rate)
+		}
+	}
+}
+
+func TestEquivalentNoiseBehaviorToTrace(t *testing.T) {
+	// Lossless RCS over a paper-shaped trace: unbiased estimates, and
+	// the ARE of elephants bounded like CAESAR's (Figure 6 ~ Figure 4).
+	const q = 10000
+	sizes := trace.BoundedSizes(q)
+	tr, err := trace.Generate(trace.GenConfig{Flows: q, Seed: 8, Sizes: sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSketch(t, Config{K: 3, L: q / 4, Seed: 9})
+	for _, p := range tr.Packets {
+		s.Observe(p.Flow)
+	}
+	e := s.Estimator()
+	var residual float64
+	var big []stats.EstimatePoint
+	for id, a := range tr.Truth {
+		est := e.CSM(id)
+		residual += est - float64(a)
+		if float64(a) >= 10*tr.MeanFlowSize() {
+			big = append(big, stats.EstimatePoint{Actual: a, Estimated: est})
+		}
+	}
+	residual /= float64(q)
+	if math.Abs(residual) > 20 {
+		t.Errorf("mean residual %.2f: CSM is biased", residual)
+	}
+	if len(big) == 0 {
+		t.Fatal("no elephants")
+	}
+	if are := stats.AverageRelativeError(big); are > 0.6 {
+		t.Errorf("elephant ARE %.3f too large", are)
+	}
+}
+
+func TestMLMTracksCSMOnSharedWorkload(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 512, Seed: 10})
+	rng := hashing.NewPRNG(11)
+	for i := 0; i < 60000; i++ {
+		s.Observe(hashing.FlowID(rng.Intn(2000)))
+	}
+	// Boost one flow well above the noise.
+	for i := 0; i < 5000; i++ {
+		s.Observe(999999)
+	}
+	e := s.Estimator()
+	csm, mlm := e.CSM(999999), e.MLM(999999)
+	if math.Abs(csm-mlm) > 0.2*csm {
+		t.Errorf("CSM %v vs MLM %v differ by more than 20%%", csm, mlm)
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	arr := counters.MustArray(10, 8)
+	cases := []struct {
+		k    int
+		mass float64
+	}{{0, 5}, {20, 5}, {3, -1}, {3, math.NaN()}}
+	for i, c := range cases {
+		if _, err := NewEstimator(arr, c.k, 1, c.mass); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	if _, err := NewEstimator(arr, 3, 1, 100); err != nil {
+		t.Errorf("valid estimator rejected: %v", err)
+	}
+}
+
+func TestOneWritePerRecordedPacket(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 128, Seed: 12, LossRate: 0.5})
+	for i := 0; i < 10000; i++ {
+		s.Observe(hashing.FlowID(i % 50))
+	}
+	if got := s.SRAM().Writes(); uint64(got) != s.Recorded() {
+		t.Fatalf("writes %d != recorded %d: RCS must cost exactly one off-chip write per packet", got, s.Recorded())
+	}
+}
+
+func TestMemoryKB(t *testing.T) {
+	s := mustSketch(t, Config{K: 3, L: 37500, CounterBits: 20, Seed: 1})
+	if kb := s.MemoryKB(); math.Abs(kb-91.55) > 0.1 {
+		t.Errorf("MemoryKB = %.2f, want ~91.55 (paper Figure 6 budget)", kb)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s, _ := New(Config{K: 3, L: 1 << 16, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(hashing.FlowID(i % 100000))
+	}
+}
+
+func BenchmarkMLM(b *testing.B) {
+	s, _ := New(Config{K: 3, L: 1 << 12, Seed: 1})
+	for i := 0; i < 100000; i++ {
+		s.Observe(hashing.FlowID(i % 1000))
+	}
+	e := s.Estimator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.MLM(hashing.FlowID(i % 1000))
+	}
+}

@@ -1,0 +1,143 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Rate: 0}, {Rate: -0.5}, {Rate: 1.5}, {Rate: math.NaN()},
+		{Rate: 0.5, MaxEntries: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestFullRateIsExact(t *testing.T) {
+	s, err := New(Config{Rate: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !s.Observe(7) {
+			t.Fatal("rate-1 sampler skipped a packet")
+		}
+	}
+	if got := s.Estimate(7); got != 1000 {
+		t.Fatalf("Estimate = %v, want 1000", got)
+	}
+	if s.Skipped() != 0 {
+		t.Fatalf("Skipped = %d", s.Skipped())
+	}
+}
+
+func TestSamplingRateHonored(t *testing.T) {
+	s, err := New(Config{Rate: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		s.Observe(hashing.FlowID(i % 100))
+	}
+	got := float64(s.Sampled()) / n
+	if math.Abs(got-0.1) > 0.005 {
+		t.Fatalf("sampled fraction %.4f, want ~0.1", got)
+	}
+}
+
+func TestScaledEstimateUnbiased(t *testing.T) {
+	const x = 50000
+	const trials = 20
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		s, err := New(Config{Rate: 0.05, Seed: uint64(tr) + 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < x; i++ {
+			s.Observe(9)
+		}
+		sum += s.Estimate(9)
+	}
+	mean := sum / trials
+	if math.Abs(mean-x) > 0.05*x {
+		t.Fatalf("mean estimate %.0f, want ~%d", mean, x)
+	}
+}
+
+func TestMiceAreFiltered(t *testing.T) {
+	// Section 2.2's point: at low rates, small flows disappear entirely.
+	s, err := New(Config{Rate: 0.01, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]hashing.FlowID, 5000)
+	for i := range flows {
+		flows[i] = hashing.FlowID(i)
+		for j := 0; j < 3; j++ { // mice: 3 packets each
+			s.Observe(flows[i])
+		}
+	}
+	missed := s.MissedFlowFraction(flows)
+	// P(miss) = 0.99^3 ~ 0.97.
+	if missed < 0.9 {
+		t.Fatalf("missed fraction %.3f, want ~0.97", missed)
+	}
+}
+
+func TestTableBoundDropsNewFlows(t *testing.T) {
+	s, err := New(Config{Rate: 1, MaxEntries: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := hashing.FlowID(0); f < 100; f++ {
+		s.Observe(f)
+	}
+	if s.Flows() != 10 {
+		t.Fatalf("Flows = %d, want 10", s.Flows())
+	}
+	if s.DroppedNewFlows() != 90 {
+		t.Fatalf("DroppedNewFlows = %d, want 90", s.DroppedNewFlows())
+	}
+	// Existing flows still count.
+	s.Observe(0)
+	if got := s.Estimate(0); got != 2 {
+		t.Fatalf("Estimate(0) = %v, want 2", got)
+	}
+}
+
+func TestMemoryAndRateHelpers(t *testing.T) {
+	s, _ := New(Config{Rate: 1, Seed: 6})
+	for f := hashing.FlowID(0); f < 1024; f++ {
+		s.Observe(f)
+	}
+	if got := s.MemoryKB(); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("MemoryKB = %v, want 12", got)
+	}
+	if r := RateForBudget(1000, 100000); math.Abs(r-0.01) > 1e-12 {
+		t.Fatalf("RateForBudget = %v, want 0.01", r)
+	}
+	if r := RateForBudget(1000, 10); r != 1 {
+		t.Fatalf("RateForBudget ample = %v, want 1", r)
+	}
+	if r := RateForBudget(0, 100); r != 1 {
+		t.Fatalf("RateForBudget degenerate = %v, want 1", r)
+	}
+	if s.MissedFlowFraction(nil) != 0 {
+		t.Fatal("MissedFlowFraction(nil) != 0")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s, _ := New(Config{Rate: 0.01, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(hashing.FlowID(i % 100000))
+	}
+}

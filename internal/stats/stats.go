@@ -1,0 +1,353 @@
+// Package stats provides the evaluation statistics the paper reports:
+// per-flow relative error, average relative error bucketed by actual flow
+// size (the (c)/(d) panels of Figures 4–7), summary moments, and the
+// Gaussian machinery (quantile Z_alpha, CDF) behind the confidence
+// intervals of Equations (26) and (32).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RelativeError returns |est - actual| / actual. Actual must be positive —
+// the evaluation only queries flows that exist.
+func RelativeError(est, actual float64) float64 {
+	if actual <= 0 {
+		panic("stats: RelativeError needs actual > 0")
+	}
+	return math.Abs(est-actual) / actual
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // population variance
+	Min, Max float64
+	Median   float64
+	P90, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P99 = Quantile(sorted, 0.99)
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Variance += d * d
+	}
+	s.Variance /= float64(s.N)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample, with linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// EstimatePoint is one (actual, estimated) pair — a dot in the paper's
+// estimated-vs-actual scatter plots (Figures 4–7, panels (a)/(b)).
+type EstimatePoint struct {
+	Actual    int
+	Estimated float64
+}
+
+// AverageRelativeError returns the mean of per-flow relative errors over
+// all points, the headline metric of Section 6 (e.g. 25.23% for CSM).
+func AverageRelativeError(pts []EstimatePoint) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += RelativeError(p.Estimated, float64(p.Actual))
+	}
+	return sum / float64(len(pts))
+}
+
+// SignedBias returns the mean of (est-actual)/actual — near zero for an
+// unbiased estimator (Equation 21).
+func SignedBias(pts []EstimatePoint) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += (p.Estimated - float64(p.Actual)) / float64(p.Actual)
+	}
+	return sum / float64(len(pts))
+}
+
+// SizeBucket aggregates the relative error of flows whose actual size falls
+// in [Lo, Hi] — one x-position of the Figures' panel (c)/(d) curves.
+type SizeBucket struct {
+	Lo, Hi    int
+	Flows     int
+	AvgRelErr float64
+	AvgSigned float64 // signed mean error, shows under/over-estimation
+}
+
+// BucketByActualSize groups points into logarithmic size buckets
+// (1, 2-3, 4-7, 8-15, ...) and computes per-bucket average relative error —
+// the paper's "average relative error vs actual flow size" panels.
+func BucketByActualSize(pts []EstimatePoint) []SizeBucket {
+	if len(pts) == 0 {
+		return nil
+	}
+	maxSize := 0
+	for _, p := range pts {
+		if p.Actual > maxSize {
+			maxSize = p.Actual
+		}
+	}
+	var buckets []SizeBucket
+	for lo := 1; lo <= maxSize; lo *= 2 {
+		hi := lo*2 - 1
+		buckets = append(buckets, SizeBucket{Lo: lo, Hi: hi})
+	}
+	for _, p := range pts {
+		b := &buckets[log2Floor(p.Actual)]
+		b.Flows++
+		b.AvgRelErr += RelativeError(p.Estimated, float64(p.Actual))
+		b.AvgSigned += (p.Estimated - float64(p.Actual)) / float64(p.Actual)
+	}
+	out := buckets[:0]
+	for _, b := range buckets {
+		if b.Flows == 0 {
+			continue
+		}
+		b.AvgRelErr /= float64(b.Flows)
+		b.AvgSigned /= float64(b.Flows)
+		out = append(out, b)
+	}
+	return out
+}
+
+func log2Floor(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// ClassPoint is the per-actual-size aggregate behind the paper's "average
+// relative error for certain flow sizes" panels: all flows of one actual
+// size, their estimates averaged first.
+type ClassPoint struct {
+	Size    int
+	Flows   int
+	MeanEst float64
+	// RelErr is |MeanEst − Size| / Size: the relative error of the class
+	// mean. Zero-mean sharing noise cancels within a class (1/√m), while a
+	// systematic bias — like RCS's missing packets under loss — survives.
+	RelErr float64
+}
+
+// ClassMeanErrors groups points by exact actual size and computes each
+// class's mean-estimate relative error, ascending by size.
+func ClassMeanErrors(pts []EstimatePoint) []ClassPoint {
+	if len(pts) == 0 {
+		return nil
+	}
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for _, p := range pts {
+		sum[p.Actual] += p.Estimated
+		cnt[p.Actual]++
+	}
+	sizes := make([]int, 0, len(sum))
+	for s := range sum {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	out := make([]ClassPoint, 0, len(sizes))
+	for _, s := range sizes {
+		mean := sum[s] / float64(cnt[s])
+		out = append(out, ClassPoint{
+			Size:    s,
+			Flows:   cnt[s],
+			MeanEst: mean,
+			RelErr:  math.Abs(mean-float64(s)) / float64(s),
+		})
+	}
+	return out
+}
+
+// ClassMeanARE averages the per-class relative errors with equal weight —
+// the closest reconstruction of the paper's headline "average relative
+// error" (25.23% for CSM, 30.83% for MLM, 67.68%/90.06% for lossy RCS).
+func ClassMeanARE(pts []EstimatePoint) float64 {
+	classes := ClassMeanErrors(pts)
+	if len(classes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range classes {
+		sum += c.RelErr
+	}
+	return sum / float64(len(classes))
+}
+
+// --- Gaussian machinery ----------------------------------------------------
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile is the standard normal inverse CDF (probit). It implements
+// Acklam's rational approximation (relative error < 1.15e-9), refined with
+// one Halley step against math.Erfc, which is ample for confidence bounds.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// ZAlpha returns Z_alpha, the two-sided Gaussian critical value for
+// reliability alpha (e.g. alpha=0.95 -> 1.96), as used in the paper's
+// confidence intervals (Equations 26 and 32).
+func ZAlpha(alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: ZAlpha needs 0 < alpha < 1, got %v", alpha))
+	}
+	return NormalQuantile(0.5 + alpha/2)
+}
+
+// Interval is a confidence interval around an estimate.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x lies within the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Coverage returns the fraction of (interval, truth) pairs where the
+// interval contains the truth — used to validate the Equations (26)/(32)
+// CIs empirically.
+func Coverage(ivs []Interval, truths []float64) float64 {
+	if len(ivs) != len(truths) {
+		panic("stats: Coverage needs equal-length slices")
+	}
+	if len(ivs) == 0 {
+		return 0
+	}
+	hit := 0
+	for i, iv := range ivs {
+		if iv.Contains(truths[i]) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ivs))
+}
+
+// Pearson returns the Pearson correlation of two equal-length samples; the
+// estimated-vs-actual scatters should have correlation near 1 for a good
+// estimator.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson needs equal-length slices")
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct{ est, actual, want float64 }{
+		{10, 10, 0},
+		{15, 10, 0.5},
+		{5, 10, 0.5},
+		{0, 10, 1},
+		{-5, 10, 1.5},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.est, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeError(%v,%v) = %v, want %v", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestRelativeErrorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RelativeError(1,0) did not panic")
+		}
+	}()
+	RelativeError(1, 0)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Errorf("Variance = %v", s.Variance)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestAverageRelativeError(t *testing.T) {
+	pts := []EstimatePoint{{10, 10}, {10, 15}, {100, 50}}
+	want := (0 + 0.5 + 0.5) / 3
+	if got := AverageRelativeError(pts); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARE = %v, want %v", got, want)
+	}
+	if AverageRelativeError(nil) != 0 {
+		t.Error("ARE(nil) != 0")
+	}
+}
+
+func TestSignedBias(t *testing.T) {
+	pts := []EstimatePoint{{10, 12}, {10, 8}}
+	if got := SignedBias(pts); math.Abs(got) > 1e-12 {
+		t.Errorf("symmetric bias = %v, want 0", got)
+	}
+	pts2 := []EstimatePoint{{10, 12}}
+	if got := SignedBias(pts2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("bias = %v, want 0.2", got)
+	}
+	if SignedBias(nil) != 0 {
+		t.Error("SignedBias(nil) != 0")
+	}
+}
+
+func TestBucketByActualSize(t *testing.T) {
+	pts := []EstimatePoint{
+		{1, 1}, {1, 2}, // bucket [1,1]: errors 0, 1
+		{2, 2}, {3, 3}, // bucket [2,3]: errors 0, 0
+		{8, 4}, // bucket [8,15]: error 0.5
+	}
+	bs := BucketByActualSize(pts)
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	if bs[0].Lo != 1 || bs[0].Hi != 1 || bs[0].Flows != 2 || math.Abs(bs[0].AvgRelErr-0.5) > 1e-12 {
+		t.Errorf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Lo != 2 || bs[1].Hi != 3 || bs[1].AvgRelErr != 0 {
+		t.Errorf("bucket 1 = %+v", bs[1])
+	}
+	if bs[2].Lo != 8 || bs[2].Hi != 15 || math.Abs(bs[2].AvgRelErr-0.5) > 1e-12 {
+		t.Errorf("bucket 2 = %+v", bs[2])
+	}
+	if BucketByActualSize(nil) != nil {
+		t.Error("BucketByActualSize(nil) != nil")
+	}
+}
+
+func TestBucketsSkipEmpty(t *testing.T) {
+	pts := []EstimatePoint{{1, 1}, {1024, 1024}}
+	bs := BucketByActualSize(pts)
+	if len(bs) != 2 {
+		t.Fatalf("expected 2 non-empty buckets, got %+v", bs)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.9995, 3.290527},
+		{0.841344746, 1.0},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile boundary values")
+	}
+	if !math.IsNaN(NormalQuantile(-0.5)) || !math.IsNaN(NormalQuantile(math.NaN())) {
+		t.Error("quantile invalid inputs must be NaN")
+	}
+}
+
+func TestQuantileCDFInverseProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := (float64(raw) + 1) / (math.MaxUint16 + 2) // p in (0,1)
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZAlpha(t *testing.T) {
+	if got := ZAlpha(0.95); math.Abs(got-1.959964) > 1e-5 {
+		t.Errorf("ZAlpha(0.95) = %v", got)
+	}
+	if got := ZAlpha(0.99); math.Abs(got-2.575829) > 1e-5 {
+		t.Errorf("ZAlpha(0.99) = %v", got)
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZAlpha(%v) did not panic", bad)
+				}
+			}()
+			ZAlpha(bad)
+		}()
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 5}
+	if !iv.Contains(2) || !iv.Contains(5) || !iv.Contains(3.5) {
+		t.Error("Contains inside")
+	}
+	if iv.Contains(1.9) || iv.Contains(5.1) {
+		t.Error("Contains outside")
+	}
+	if iv.Width() != 3 {
+		t.Errorf("Width = %v", iv.Width())
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	ivs := []Interval{{0, 2}, {0, 2}, {0, 2}, {0, 2}}
+	truths := []float64{1, 3, 2, -1}
+	if got := Coverage(ivs, truths); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Coverage = %v, want 0.5", got)
+	}
+	if Coverage(nil, nil) != 0 {
+		t.Error("Coverage(nil) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Coverage did not panic")
+		}
+	}()
+	Coverage(ivs, truths[:2])
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, xs); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", got)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Errorf("flat correlation = %v", got)
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Error("Pearson(nil) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Pearson did not panic")
+		}
+	}()
+	Pearson(xs, xs[:2])
+}
+
+func TestCoverageMatchesNominalOnGaussianData(t *testing.T) {
+	// Build 95% CIs around Gaussian draws and verify empirical coverage.
+	rng := hashing.NewPRNG(13)
+	z := ZAlpha(0.95)
+	const trials = 20000
+	ivs := make([]Interval, trials)
+	truths := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		// Box-Muller.
+		u1, u2 := rng.Float64(), rng.Float64()
+		if u1 < 1e-300 {
+			u1 = 1e-300
+		}
+		g := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		est := 10 + 2*g // estimate ~ N(truth=10, sd=2)
+		ivs[i] = Interval{Lo: est - z*2, Hi: est + z*2}
+		truths[i] = 10
+	}
+	if got := Coverage(ivs, truths); math.Abs(got-0.95) > 0.01 {
+		t.Errorf("empirical coverage %v, want ~0.95", got)
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NormalQuantile(0.975)
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/pcap"
+)
+
+func TestPcapRoundTripSynthetic(t *testing.T) {
+	tr := genSmall(t, 200, 41)
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := FromPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Parsed != tr.NumPackets() {
+		t.Fatalf("parsed %d packets, want %d (stats %+v)", st.Parsed, tr.NumPackets(), st)
+	}
+	if got.NumFlows() != tr.NumFlows() {
+		t.Fatalf("flows %d, want %d", got.NumFlows(), tr.NumFlows())
+	}
+	// Per-flow ground truth must survive: IDs are re-derived from the same
+	// 5-tuples, so the maps must agree exactly.
+	for id, want := range tr.Truth {
+		if got.Truth[id] != want {
+			t.Fatalf("flow %d: truth %d, want %d", id, got.Truth[id], want)
+		}
+	}
+}
+
+func TestPcapRoundTripWithoutTuples(t *testing.T) {
+	// A trace loaded from CTR1 has no tuples; export must still produce
+	// distinguishable flows (IDs change, but counts' multiset is intact).
+	tr := genSmall(t, 100, 42)
+	var ctr bytes.Buffer
+	if err := tr.Write(&ctr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := loaded.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := FromPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFlows() != tr.NumFlows() || got.NumPackets() != tr.NumPackets() {
+		t.Fatalf("round trip: %d flows %d packets, want %d/%d",
+			got.NumFlows(), got.NumPackets(), tr.NumFlows(), tr.NumPackets())
+	}
+	wantSizes := map[int]int{}
+	for _, s := range tr.FlowSizes() {
+		wantSizes[s]++
+	}
+	for _, s := range got.FlowSizes() {
+		wantSizes[s]--
+	}
+	for size, diff := range wantSizes {
+		if diff != 0 {
+			t.Fatalf("flow-size multiset differs at size %d (diff %d)", size, diff)
+		}
+	}
+}
+
+func TestFromPcapEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	pw := pcap.NewWriter(&buf)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FromPcap(&buf); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+}
+
+func TestFromPcapGarbage(t *testing.T) {
+	if _, _, err := FromPcap(bytes.NewReader([]byte("garbage garbage garbage!"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPcapArrivalsRebased(t *testing.T) {
+	tr := genSmall(t, 50, 43)
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := FromPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Packets[0].Arrival != 0 {
+		t.Fatalf("first arrival = %d, want rebased 0", got.Packets[0].Arrival)
+	}
+	var prev uint64
+	for i, p := range got.Packets {
+		if p.Arrival < prev {
+			t.Fatalf("arrival went backwards at %d", i)
+		}
+		prev = p.Arrival
+	}
+}

@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-sketch/caesar/internal/dist"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func genSmall(t testing.TB, flows int, seed uint64) *Trace {
+	t.Helper()
+	tr, err := Generate(GenConfig{Flows: flows, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGenerateCounts(t *testing.T) {
+	tr := genSmall(t, 500, 1)
+	if tr.NumFlows() != 500 {
+		t.Fatalf("NumFlows = %d, want 500", tr.NumFlows())
+	}
+	total := 0
+	for _, s := range tr.Truth {
+		if s < 1 {
+			t.Fatalf("flow with size %d < 1", s)
+		}
+		total += s
+	}
+	if total != tr.NumPackets() {
+		t.Fatalf("sum of truth %d != packets %d", total, tr.NumPackets())
+	}
+}
+
+func TestGenerateTruthMatchesPackets(t *testing.T) {
+	tr := genSmall(t, 300, 2)
+	counted := make(map[hashing.FlowID]int)
+	for _, p := range tr.Packets {
+		counted[p.Flow]++
+	}
+	if len(counted) != len(tr.Truth) {
+		t.Fatalf("distinct flows in packets %d != truth %d", len(counted), len(tr.Truth))
+	}
+	for id, want := range tr.Truth {
+		if counted[id] != want {
+			t.Fatalf("flow %d: packets %d, truth %d", id, counted[id], want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genSmall(t, 200, 7)
+	b := genSmall(t, 200, 7)
+	if a.NumPackets() != b.NumPackets() {
+		t.Fatal("same seed, different packet counts")
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("same seed, packet %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := genSmall(t, 200, 1)
+	b := genSmall(t, 200, 2)
+	same := 0
+	n := a.NumPackets()
+	if b.NumPackets() < n {
+		n = b.NumPackets()
+	}
+	for i := 0; i < n; i++ {
+		if a.Packets[i].Flow == b.Packets[i].Flow {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Flows: 0}); err == nil {
+		t.Error("Flows=0: want error")
+	}
+	if _, err := Generate(GenConfig{Flows: -5}); err == nil {
+		t.Error("Flows<0: want error")
+	}
+}
+
+func TestGenerateHeavyTailShape(t *testing.T) {
+	tr := genSmall(t, 5000, 3)
+	s := tr.Summarize()
+	// The distribution mean is ~27, but a heavy-tailed sample mean over only
+	// 5000 flows swings widely (a single 1e5-size flow shifts it by 20).
+	if s.MeanFlowSize < 8 || s.MeanFlowSize > 80 {
+		t.Errorf("mean flow size %.2f outside the paper-like range", s.MeanFlowSize)
+	}
+	if s.FractionBelowMean < 0.90 {
+		t.Errorf("fraction below mean %.3f, want >= 0.90 (paper: >0.92)", s.FractionBelowMean)
+	}
+	if s.MaxFlowSize <= int(s.MeanFlowSize)*10 {
+		t.Errorf("max flow size %d not heavy-tailed vs mean %.1f", s.MaxFlowSize, s.MeanFlowSize)
+	}
+}
+
+func TestGenerateCustomDistribution(t *testing.T) {
+	d := dist.MustEmpirical("const3", []float64{0, 0, 1}) // every flow has size 3
+	tr, err := Generate(GenConfig{Flows: 100, Sizes: d, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPackets() != 300 {
+		t.Fatalf("packets = %d, want 300", tr.NumPackets())
+	}
+	for id, s := range tr.Truth {
+		if s != 3 {
+			t.Fatalf("flow %d has size %d, want 3", id, s)
+		}
+	}
+}
+
+func TestArrivalsMonotone(t *testing.T) {
+	tr := genSmall(t, 200, 5)
+	var prev uint64
+	for i, p := range tr.Packets {
+		if p.Arrival < prev {
+			t.Fatalf("arrival not monotone at packet %d", i)
+		}
+		if p.Bytes < 64 {
+			t.Fatalf("packet %d has %d bytes < 64", i, p.Bytes)
+		}
+		prev = p.Arrival
+	}
+}
+
+func TestLineRateAffectsDuration(t *testing.T) {
+	slow, err := Generate(GenConfig{Flows: 200, Seed: 6, LineRateGbps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Generate(GenConfig{Flows: 200, Seed: 6, LineRateGbps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := slow.Packets[len(slow.Packets)-1].Arrival
+	fd := fast.Packets[len(fast.Packets)-1].Arrival
+	if sd <= fd {
+		t.Fatalf("1Gbps duration %d should exceed 40Gbps duration %d", sd, fd)
+	}
+}
+
+func TestTopFlows(t *testing.T) {
+	tr := genSmall(t, 1000, 8)
+	top := tr.TopFlows(10)
+	if len(top) != 10 {
+		t.Fatalf("TopFlows(10) returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if tr.Truth[top[i]] > tr.Truth[top[i-1]] {
+			t.Fatalf("TopFlows not descending at %d", i)
+		}
+	}
+	if tr.Truth[top[0]] != tr.MaxFlowSize() {
+		t.Fatalf("TopFlows[0] size %d != max %d", tr.Truth[top[0]], tr.MaxFlowSize())
+	}
+	if got := tr.TopFlows(1 << 20); len(got) != tr.NumFlows() {
+		t.Fatalf("TopFlows(huge) = %d flows, want all %d", len(got), tr.NumFlows())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := genSmall(t, 300, 9)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPackets() != tr.NumPackets() {
+		t.Fatalf("round trip packets %d != %d", got.NumPackets(), tr.NumPackets())
+	}
+	for i := range tr.Packets {
+		if got.Packets[i] != tr.Packets[i] {
+			t.Fatalf("round trip packet %d differs", i)
+		}
+	}
+	if len(got.Truth) != len(tr.Truth) {
+		t.Fatal("round trip truth size differs")
+	}
+	for id, s := range tr.Truth {
+		if got.Truth[id] != s {
+			t.Fatalf("round trip truth for flow %d differs", id)
+		}
+	}
+}
+
+func TestReadBadInput(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err != ErrBadMagic {
+		t.Errorf("bad magic: got %v, want ErrBadMagic", err)
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input: want error")
+	}
+	// Header claims more packets than present.
+	var buf bytes.Buffer
+	buf.Write([]byte("CTR1"))
+	buf.Write([]byte{10, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated body: want error")
+	}
+	// Implausible count must be rejected before allocation.
+	var big bytes.Buffer
+	big.Write([]byte("CTR1"))
+	big.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := Read(&big); err == nil {
+		t.Error("implausible count: want error")
+	}
+}
+
+func TestRoundTripPropertyQuick(t *testing.T) {
+	f := func(seed uint64, flowsRaw uint8) bool {
+		flows := int(flowsRaw%50) + 1
+		tr, err := Generate(GenConfig{Flows: flows, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumPackets() != tr.NumPackets() || got.NumFlows() != tr.NumFlows() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	tr := genSmall(t, 100, 10)
+	s := tr.Summarize().String()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestEmptyTraceAccessors(t *testing.T) {
+	tr := &Trace{Truth: map[hashing.FlowID]int{}}
+	if tr.MeanFlowSize() != 0 {
+		t.Error("empty MeanFlowSize != 0")
+	}
+	if tr.FractionBelowMean() != 0 {
+		t.Error("empty FractionBelowMean != 0")
+	}
+	if tr.MaxFlowSize() != 0 {
+		t.Error("empty MaxFlowSize != 0")
+	}
+	if tr.Summarize().DurationNs != 0 {
+		t.Error("empty DurationNs != 0")
+	}
+}
+
+func TestFlowSizesMatchesTruth(t *testing.T) {
+	tr := genSmall(t, 150, 11)
+	sizes := tr.FlowSizes()
+	if len(sizes) != tr.NumFlows() {
+		t.Fatalf("FlowSizes len %d != %d", len(sizes), tr.NumFlows())
+	}
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != tr.NumPackets() {
+		t.Fatalf("FlowSizes sum %d != packets %d", sum, tr.NumPackets())
+	}
+}
+
+func TestMeanPacketBytes(t *testing.T) {
+	tr, err := Generate(GenConfig{Flows: 2000, Seed: 12, MeanPacketBytes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range tr.Packets {
+		sum += float64(p.Bytes)
+	}
+	mean := sum / float64(len(tr.Packets))
+	if math.Abs(mean-400) > 20 {
+		t.Fatalf("mean packet bytes %.1f, want ~400", mean)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(GenConfig{Flows: 10000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and assorted corruptions.
+	tr, err := Generate(GenConfig{Flows: 5, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("CTR1"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or hang; on success the reconstructed truth must
+		// be internally consistent.
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, s := range got.Truth {
+			total += s
+		}
+		if total != got.NumPackets() {
+			t.Fatalf("inconsistent parse: truth mass %d vs %d packets", total, got.NumPackets())
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package vhc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Registers: 4, S: 8},
+		{Registers: 0, S: 0},
+		{Registers: 100, S: 8, RegisterBits: 7},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	s, err := New(Config{Registers: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().S != 8 || s.Config().RegisterBits != 5 {
+		t.Fatalf("defaults: %+v", s.Config())
+	}
+}
+
+func TestMorrisDecodeUnbiased(t *testing.T) {
+	// E[2^v − 1] = hits: averaged over many independent registers, the
+	// decode must match the true hit count.
+	for _, hits := range []int{1, 10, 100, 1000} {
+		const trials = 400
+		var sum float64
+		rng := hashing.NewPRNG(uint64(hits))
+		for tr := 0; tr < trials; tr++ {
+			v := uint8(0)
+			for i := 0; i < hits; i++ {
+				if v >= 31 {
+					break
+				}
+				if v == 0 || rng.Next()&(1<<v-1) == 0 {
+					v++
+				}
+			}
+			sum += decodeRegister(v)
+		}
+		mean := sum / trials
+		tol := 0.15*float64(hits) + 1
+		if math.Abs(mean-float64(hits)) > tol {
+			t.Errorf("hits=%d: mean decode %.1f", hits, mean)
+		}
+	}
+}
+
+func TestEstimateIsolatedFlow(t *testing.T) {
+	// A lone flow: averaged over seeds, the estimate matches the size.
+	const x = 2000
+	const trials = 30
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		s, err := New(Config{Registers: 4096, Seed: uint64(tr)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < x; i++ {
+			s.Observe(77)
+		}
+		sum += s.Estimate(77)
+	}
+	mean := sum / trials
+	if math.Abs(mean-x) > 0.2*x {
+		t.Fatalf("mean estimate %.0f, want ~%d", mean, x)
+	}
+}
+
+func TestNoiseSubtraction(t *testing.T) {
+	// Heavy background plus one target flow: the estimate must sit far
+	// closer to the target's size than the raw register sum does.
+	s, err := New(Config{Registers: 2048, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hashing.NewPRNG(4)
+	const background = 400000
+	for i := 0; i < background; i++ {
+		s.Observe(hashing.FlowID(rng.Intn(5000)))
+	}
+	const x = 20000
+	for i := 0; i < x; i++ {
+		s.Observe(999999)
+	}
+	got := s.Estimate(999999)
+	if math.Abs(got-x) > 0.6*x {
+		t.Fatalf("estimate %v, want within 60%% of %d under heavy sharing", got, x)
+	}
+}
+
+func TestEstimateManyMatchesEstimate(t *testing.T) {
+	s, err := New(Config{Registers: 1024, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []hashing.FlowID{1, 2, 3}
+	for i := 0; i < 9000; i++ {
+		s.Observe(flows[i%3])
+	}
+	batch := s.EstimateMany(flows)
+	for i, f := range flows {
+		if one := s.Estimate(f); math.Abs(one-batch[i]) > 1e-9 {
+			t.Fatalf("flow %d: Estimate %v vs EstimateMany %v", f, one, batch[i])
+		}
+	}
+}
+
+func TestSaturationCounted(t *testing.T) {
+	s, err := New(Config{Registers: 8, S: 2, RegisterBits: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		s.Observe(1)
+	}
+	if s.Saturations() == 0 {
+		t.Fatal("2-bit registers must saturate under 10k packets")
+	}
+}
+
+func TestMemoryKB(t *testing.T) {
+	s, _ := New(Config{Registers: 8192, RegisterBits: 5, S: 8, Seed: 1})
+	want := 8192.0 * 5 / 8192
+	if math.Abs(s.MemoryKB()-want) > 1e-12 {
+		t.Fatalf("MemoryKB = %v, want %v", s.MemoryKB(), want)
+	}
+}
+
+func TestPacketCount(t *testing.T) {
+	s, _ := New(Config{Registers: 64, Seed: 7})
+	for i := 0; i < 500; i++ {
+		s.Observe(hashing.FlowID(i % 5))
+	}
+	if s.NumPackets() != 500 {
+		t.Fatalf("NumPackets = %d", s.NumPackets())
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s, _ := New(Config{Registers: 1 << 16, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(hashing.FlowID(i % 100000))
+	}
+}

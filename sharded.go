@@ -1,0 +1,208 @@
+package caesar
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Sharded fans packet ingestion out over several independent CAESAR
+// sketches, one worker goroutine per shard, with flows routed by hash so
+// every flow lives in exactly one shard. This is the software analogue of
+// replicating the measurement pipeline across switch ports: shards share
+// nothing, so ingest scales with cores while every per-flow guarantee of a
+// single sketch still holds within its shard.
+//
+// The total memory budget in Config is divided evenly among shards (each
+// shard gets Counters/n counters and CacheEntries/n cache entries).
+//
+// Observe may be called from multiple goroutines concurrently; each packet
+// is routed and enqueued to its shard's worker. Call Close to drain the
+// workers before querying.
+type Sharded struct {
+	shards []*Sketch
+	queues []chan shardBatch
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	batches []shardBatch // per-shard fill buffers, guarded by mu
+	closed  bool
+}
+
+const shardBatchSize = 256
+
+type shardBatch []FlowID
+
+// NewSharded builds n shards from a total-budget config. n = 0 selects
+// GOMAXPROCS shards.
+func NewSharded(n int, cfg Config) (*Sharded, error) {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("caesar: shard count must be >= 1, got %d", n)
+	}
+	per := cfg
+	per.Counters = cfg.Counters / n
+	per.CacheEntries = cfg.CacheEntries / n
+	if per.Counters < 1 || per.CacheEntries < 1 {
+		return nil, fmt.Errorf("caesar: budget too small for %d shards (counters=%d cacheEntries=%d)",
+			n, cfg.Counters, cfg.CacheEntries)
+	}
+	s := &Sharded{
+		shards:  make([]*Sketch, n),
+		queues:  make([]chan shardBatch, n),
+		batches: make([]shardBatch, n),
+	}
+	for i := range s.shards {
+		per.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		sk, err := New(per)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sk
+		s.queues[i] = make(chan shardBatch, 64)
+		s.batches[i] = make(shardBatch, 0, shardBatchSize)
+	}
+	for i := range s.shards {
+		s.wg.Add(1)
+		go func(i int) {
+			defer s.wg.Done()
+			sk := s.shards[i]
+			for batch := range s.queues[i] {
+				for _, flow := range batch {
+					sk.Observe(flow)
+				}
+			}
+		}(i)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the index of the shard that owns a flow.
+func (s *Sharded) ShardFor(flow FlowID) int {
+	return int(hashing.MixWithSeed(uint64(flow), 0x5ad5ad) % uint64(len(s.shards)))
+}
+
+// Observe routes one packet to its shard. Safe for concurrent use.
+func (s *Sharded) Observe(flow FlowID) {
+	i := s.ShardFor(flow)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("caesar: Observe after Close")
+	}
+	s.batches[i] = append(s.batches[i], flow)
+	var full shardBatch
+	if len(s.batches[i]) == shardBatchSize {
+		full = s.batches[i]
+		s.batches[i] = make(shardBatch, 0, shardBatchSize)
+	}
+	s.mu.Unlock()
+	if full != nil {
+		s.queues[i] <- full
+	}
+}
+
+// ObservePacket parses a 5-tuple and routes one packet of its flow.
+func (s *Sharded) ObservePacket(t FiveTuple) { s.Observe(t.ID()) }
+
+// Close flushes the routing buffers, stops the workers, and flushes every
+// shard's cache to its counters. Idempotent.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for i, b := range s.batches {
+		if len(b) > 0 {
+			s.queues[i] <- b
+			s.batches[i] = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.wg.Wait()
+	for _, sk := range s.shards {
+		sk.Flush()
+	}
+}
+
+// NumPackets returns the total packets observed across shards. Call after
+// Close for an exact figure.
+func (s *Sharded) NumPackets() uint64 {
+	var n uint64
+	for _, sk := range s.shards {
+		n += sk.NumPackets()
+	}
+	return n
+}
+
+// Stats aggregates the shards' observability counters.
+func (s *Sharded) Stats() Stats {
+	var agg Stats
+	for _, sk := range s.shards {
+		st := sk.Stats()
+		agg.Packets += st.Packets
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.OverflowEvictions += st.OverflowEvictions
+		agg.PressureEvictions += st.PressureEvictions
+		agg.FlushEvictions += st.FlushEvictions
+		agg.SRAMWrites += st.SRAMWrites
+		agg.CacheKB += st.CacheKB
+		agg.SRAMKB += st.SRAMKB
+	}
+	return agg
+}
+
+// Estimator returns the query view. It requires Close to have been called:
+// querying while workers are still draining would race with ingestion.
+func (s *Sharded) Estimator() (*ShardedEstimator, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		return nil, fmt.Errorf("caesar: Estimator before Close; call Close to drain ingestion first")
+	}
+	ests := make([]*Estimator, len(s.shards))
+	for i, sk := range s.shards {
+		ests[i] = sk.Estimator()
+	}
+	return &ShardedEstimator{owner: s, ests: ests}, nil
+}
+
+// ShardedEstimator answers queries by routing each flow to its owning
+// shard's estimator.
+type ShardedEstimator struct {
+	owner *Sharded
+	ests  []*Estimator
+}
+
+// Estimate returns the flow's estimated size.
+func (e *ShardedEstimator) Estimate(flow FlowID, m Method) float64 {
+	return e.ests[e.owner.ShardFor(flow)].Estimate(flow, m)
+}
+
+// EstimateWithInterval returns the CSM estimate and confidence interval.
+func (e *ShardedEstimator) EstimateWithInterval(flow FlowID, alpha float64) (float64, Interval) {
+	return e.ests[e.owner.ShardFor(flow)].EstimateWithInterval(flow, alpha)
+}
+
+// SetDistribution forwards flow-population knowledge to every shard,
+// scaling Q by the shard count (flows split evenly in expectation).
+func (e *ShardedEstimator) SetDistribution(q float64, sizeSecondMoment float64) {
+	per := q / float64(len(e.ests))
+	for _, est := range e.ests {
+		est.SetDistribution(per, sizeSecondMoment)
+	}
+}

@@ -1,0 +1,258 @@
+package caesar
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func shardedConfig() Config {
+	return Config{
+		Counters:      1 << 14,
+		CacheEntries:  1 << 10,
+		CacheCapacity: 32,
+		Seed:          1,
+	}
+}
+
+func TestShardedBasic(t *testing.T) {
+	s, err := NewSharded(4, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	const x = 2000
+	for i := 0; i < x; i++ {
+		s.Observe(77)
+	}
+	s.Close()
+	if s.NumPackets() != x {
+		t.Fatalf("NumPackets = %d, want %d", s.NumPackets(), x)
+	}
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Estimate(77, CSM); math.Abs(got-x) > 2 {
+		t.Fatalf("estimate = %v, want ~%d", got, x)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(-1, shardedConfig()); err == nil {
+		t.Error("negative shards accepted")
+	}
+	if _, err := NewSharded(1<<20, shardedConfig()); err == nil {
+		t.Error("budget smaller than shard count accepted")
+	}
+	cfg := shardedConfig()
+	cfg.Counters = 0
+	if _, err := NewSharded(2, cfg); err == nil {
+		t.Error("zero counters accepted")
+	}
+}
+
+func TestShardedDefaultShardCount(t *testing.T) {
+	s, err := NewSharded(0, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() < 1 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	s.Close()
+}
+
+func TestShardedConcurrentIngest(t *testing.T) {
+	s, err := NewSharded(4, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers   = 8
+		perWriter = 5000
+		flows     = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Observe(FlowID((w*perWriter + i) % flows))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Close()
+	if got := s.NumPackets(); got != writers*perWriter {
+		t.Fatalf("NumPackets = %d, want %d", got, writers*perWriter)
+	}
+	// Every flow received exactly writers*perWriter/flows packets; a small
+	// minority will carry counter-sharing noise (~x/k) from a neighbor.
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(writers * perWriter / flows)
+	within := 0
+	for f := FlowID(0); f < flows; f++ {
+		if got := est.Estimate(f, CSM); math.Abs(got-want) < 0.1*want {
+			within++
+		}
+	}
+	if within < flows*85/100 {
+		t.Fatalf("only %d/%d flows within 10%% of truth", within, flows)
+	}
+}
+
+func TestShardedRouteStability(t *testing.T) {
+	s, err := NewSharded(8, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for f := FlowID(0); f < 1000; f++ {
+		a, b := s.ShardFor(f), s.ShardFor(f)
+		if a != b || a < 0 || a >= 8 {
+			t.Fatalf("unstable or out-of-range shard for flow %d: %d/%d", f, a, b)
+		}
+	}
+}
+
+func TestShardedRouteBalance(t *testing.T) {
+	s, err := NewSharded(8, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	counts := make([]int, 8)
+	const flows = 80000
+	for f := FlowID(0); f < flows; f++ {
+		counts[s.ShardFor(f)]++
+	}
+	want := float64(flows) / 8
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Errorf("shard %d owns %d flows, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestShardedCloseIdempotentAndGates(t *testing.T) {
+	s, err := NewSharded(2, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Estimator(); err == nil {
+		t.Fatal("Estimator before Close accepted")
+	}
+	s.Observe(1)
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Estimator(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Close did not panic")
+		}
+	}()
+	s.Observe(2)
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	s, err := NewSharded(4, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		s.Observe(FlowID(i % 500))
+	}
+	s.Close()
+	st := s.Stats()
+	if st.Packets != 10000 {
+		t.Fatalf("aggregated packets = %d", st.Packets)
+	}
+	if st.CacheHits+st.CacheMisses != st.Packets {
+		t.Fatalf("hits+misses != packets: %+v", st)
+	}
+	single, _ := New(shardedConfig())
+	_ = single.Stats()
+	if st.SRAMKB <= 0 {
+		t.Fatal("aggregated memory accounting missing")
+	}
+}
+
+func TestShardedMatchesSingleSketchPerFlow(t *testing.T) {
+	// A flow's estimate in the sharded sketch must match a single sketch
+	// configured like its shard and fed only that shard's flows.
+	cfg := shardedConfig()
+	s, err := NewSharded(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows = 100
+	for i := 0; i < 30000; i++ {
+		s.Observe(FlowID(i % flows))
+	}
+	s.Close()
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few flows will share a counter with a neighbor (expected ~3 pairs
+	// per shard at these parameters) and absorb ~x/k of noise; the bulk of
+	// the population must sit right on the truth.
+	want := 30000.0 / flows
+	within := 0
+	for f := FlowID(0); f < flows; f++ {
+		if got := est.Estimate(f, CSM); math.Abs(got-want) < 0.1*want {
+			within++
+		}
+	}
+	if within < 85 {
+		t.Fatalf("only %d/%d flows within 10%% of truth", within, flows)
+	}
+}
+
+func TestShardedSetDistribution(t *testing.T) {
+	s, err := NewSharded(2, shardedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		s.Observe(FlowID(i % 300))
+	}
+	s.Close()
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, narrow := est.EstimateWithInterval(5, 0.95)
+	est.SetDistribution(300, 10000)
+	_, wide := est.EstimateWithInterval(5, 0.95)
+	if wide.Width() <= narrow.Width() {
+		t.Fatal("SetDistribution did not widen intervals")
+	}
+}
+
+func BenchmarkShardedObserve(b *testing.B) {
+	s, err := NewSharded(4, Config{
+		Counters: 1 << 16, CacheEntries: 1 << 12, CacheCapacity: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Observe(FlowID(i & 8191))
+			i++
+		}
+	})
+	b.StopTimer()
+	s.Close()
+}

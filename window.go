@@ -1,0 +1,103 @@
+package caesar
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/stats"
+)
+
+// Window provides continuous measurement over a sliding window of epochs —
+// the "per-flow counting over sliding windows" direction the paper cites as
+// companion work. A fresh sketch ingests the current epoch; Rotate seals it
+// (flushing its cache to its counters) and retires the oldest epoch once
+// the window is full. Queries aggregate the sealed epochs, so answers cover
+// the most recent `epochs` completed intervals.
+//
+// Each epoch uses a different hash seed, which decorrelates the sharing
+// noise across epochs: summed window estimates stay unbiased while their
+// relative noise shrinks as the window grows.
+type Window struct {
+	cfg    Config
+	epochs int
+
+	cur       *Sketch
+	sealed    []*Estimator // oldest first, at most `epochs` entries
+	rotations int
+}
+
+// NewWindow builds a sliding window that retains `epochs` sealed epochs.
+// cfg is the per-epoch budget.
+func NewWindow(epochs int, cfg Config) (*Window, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("caesar: window needs >= 1 epoch, got %d", epochs)
+	}
+	w := &Window{cfg: cfg, epochs: epochs}
+	if err := w.startEpoch(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Window) startEpoch() error {
+	cfg := w.cfg
+	cfg.Seed = w.cfg.Seed + uint64(w.rotations)*0x9e3779b97f4a7c15
+	sk, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	w.cur = sk
+	return nil
+}
+
+// Observe records one packet in the current epoch.
+func (w *Window) Observe(flow FlowID) { w.cur.Observe(flow) }
+
+// ObservePacket parses a 5-tuple and records one packet.
+func (w *Window) ObservePacket(t FiveTuple) { w.cur.ObservePacket(t) }
+
+// Rotate seals the current epoch and starts a new one, retiring the oldest
+// sealed epoch when the window is full.
+func (w *Window) Rotate() error {
+	w.sealed = append(w.sealed, w.cur.Estimator())
+	if len(w.sealed) > w.epochs {
+		w.sealed = w.sealed[1:]
+	}
+	w.rotations++
+	return w.startEpoch()
+}
+
+// EpochsSealed returns how many sealed epochs currently back queries
+// (grows to the window size, then stays there).
+func (w *Window) EpochsSealed() int { return len(w.sealed) }
+
+// Rotations returns how many epochs have been sealed in total.
+func (w *Window) Rotations() int { return w.rotations }
+
+// Estimate returns the flow's estimated packet count summed over the
+// sealed epochs of the window. The current (still-ingesting) epoch is not
+// included; call Rotate first to fold it in.
+func (w *Window) Estimate(flow FlowID, m Method) float64 {
+	var sum float64
+	for _, e := range w.sealed {
+		sum += e.Estimate(flow, m)
+	}
+	return sum
+}
+
+// EstimateWithInterval returns the windowed CSM estimate with a
+// reliability-alpha confidence interval. Per-epoch variances add: the
+// epochs use independent hash seeds, so their noises are independent.
+func (w *Window) EstimateWithInterval(flow FlowID, alpha float64) (float64, Interval) {
+	var sum, varsum float64
+	for _, e := range w.sealed {
+		est, iv := e.EstimateWithInterval(flow, alpha)
+		sum += est
+		half := iv.Width() / 2
+		z := stats.ZAlpha(alpha)
+		varsum += (half / z) * (half / z)
+	}
+	z := stats.ZAlpha(alpha)
+	half := z * math.Sqrt(varsum)
+	return sum, Interval{Lo: sum - half, Hi: sum + half}
+}
