@@ -1,0 +1,31 @@
+# CAESAR development targets. `make ci` runs everything the CI workflow
+# runs; the individual targets are one command each so the tier-1 verify
+# (`make build test`) and the new checks stay trivially reproducible.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet lint fuzz-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the expensive internal/expt experiment sweeps under the race
+# detector; the race-focused tests (Sharded Observe/Close stress) still run.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/caesar-lint ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSketchObserveEstimate -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzFiveTupleHash -fuzztime=$(FUZZTIME) ./internal/hashing
+
+ci: build vet test race lint fuzz-smoke

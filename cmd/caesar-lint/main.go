@@ -1,0 +1,94 @@
+// Command caesar-lint runs the CAESAR house analyzer suite (see
+// docs/ANALYZERS.md): seededrand, lockdiscipline, saturating, floaterr, and
+// errcheck — the invariants of the sketch that the compiler cannot check.
+//
+// Standalone (the usual way):
+//
+//	go run ./cmd/caesar-lint ./...
+//
+// As a vet tool (runs the same passes under the go vet driver, which also
+// covers _test.go files):
+//
+//	go build -o /tmp/caesar-lint ./cmd/caesar-lint
+//	go vet -vettool=/tmp/caesar-lint ./...
+//
+// Exit status: 0 when the tree is clean, 1 on findings, 2 on usage or load
+// errors. Findings are silenced in place with a justified
+// //caesar:ignore <analyzer> <reason> comment.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers"
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The `go vet -vettool` driver protocol (a subset of
+	// x/tools/go/analysis/unitchecker): respond to -V=full and -flags
+	// probes, then analyze single-package .cfg units.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitcheck(args[0]))
+		}
+	}
+
+	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+		usage()
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "caesar-lint: %s: type error: %v\n", pkg.PkgPath, terr)
+		}
+	}
+	diags, err := framework.RunAnalyzers(pkgs, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(pkgs) > 0 {
+		for _, d := range diags {
+			fmt.Printf("%s: %s [%s]\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "caesar-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Println("caesar-lint: the CAESAR house static-analysis suite")
+	fmt.Println()
+	fmt.Println("usage: caesar-lint [package patterns]   (default ./...)")
+	fmt.Println()
+	for _, a := range analyzers.All() {
+		fmt.Printf("  %-15s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("suppress a finding: //caesar:ignore <analyzer>[,<analyzer>] <justification>")
+	fmt.Println("details: docs/ANALYZERS.md")
+}

@@ -1,0 +1,157 @@
+package main
+
+// The go vet -vettool driver protocol, reimplemented on the standard
+// library (golang.org/x/tools/go/analysis/unitchecker is not available in
+// this hermetic build environment, see internal/analyzers/framework).
+//
+// go vet invokes the tool once per package with a JSON config file naming
+// the unit's sources and the export-data files of every dependency. The
+// tool type-checks the unit against that export data, runs the analyzers,
+// writes a (for us, empty — no facts) .vetx output file, and exits 0 for
+// clean, 2 for findings.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers"
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// vetConfig mirrors the JSON schema cmd/go writes for vet units.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caesar-lint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "caesar-lint: parsing vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The suite carries no inter-package facts, so the vetx output is
+	// always empty — but it must exist for the driver's cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "caesar-lint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var soft []error
+	tconf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil || len(soft) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "caesar-lint: type-checking %s: %v (%d errors)\n", cfg.ImportPath, err, len(soft))
+		return 1
+	}
+
+	pkg := &framework.Package{
+		PkgPath:   cfg.ImportPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion answers the driver's -V=full probe. The output format (name,
+// "version devel", and a content hash the driver can use as a cache key)
+// matches what x/tools' unitchecker prints.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sum)
+}

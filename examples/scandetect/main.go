@@ -87,8 +87,16 @@ func main() {
 		lo  float64
 		mid float64
 	}
-	var alerts []flagged
+	// Scan hosts in sorted order, not map order: with a seeded run the
+	// report must be byte-identical across runs, and sort.Slice below is
+	// not stable, so a map-ordered scan could reorder equal estimates.
+	hosts := make([]uint32, 0, len(truth))
 	for ip := range truth {
+		hosts = append(hosts, ip)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	var alerts []flagged
+	for _, ip := range hosts {
 		size, iv := est.EstimateWithInterval(hostKey(ip), 0.95)
 		if iv.Lo > threshold {
 			alerts = append(alerts, flagged{ip, iv.Lo, size})

@@ -1,0 +1,77 @@
+package caesar
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSketchObserveEstimate drives a small sketch with an arbitrary packet
+// stream and checks the estimator's structural invariants: construction and
+// querying never panic, every estimate is finite, CSM can dip below zero
+// only by the de-noising term k·n/L (PAPER.md Eq. 20), no estimate exceeds
+// the total observed mass times k, and confidence intervals are well-formed
+// and centered on their estimate.
+func FuzzSketchObserveEstimate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint64(42))
+	f.Add([]byte{0}, uint64(0))
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 7, 7, 7, 7}, uint64(7))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if len(data) == 0 {
+			return
+		}
+		const (
+			k = 3
+			l = 256
+		)
+		sk, err := New(Config{
+			K:             k,
+			Counters:      l,
+			CacheEntries:  16,
+			CacheCapacity: 8,
+			Seed:          seed,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		// Derive a flow stream from the fuzz bytes. Folding to 32 flow IDs
+		// forces heavy counter sharing, the regime where the de-noising and
+		// MLM root-finding math actually gets exercised.
+		flows := map[FlowID]bool{}
+		for _, b := range data {
+			id := FlowID(b % 32)
+			sk.Observe(id)
+			flows[id] = true
+		}
+		n := float64(len(data))
+		if got := sk.NumPackets(); got != uint64(len(data)) {
+			t.Fatalf("NumPackets = %d, want %d", got, len(data))
+		}
+
+		est := sk.Estimator()
+		noise := k * n / l // aggregate de-noising term k·Qμ/L
+		for id := range flows {
+			for _, m := range []Method{CSM, MLM} {
+				x := est.Estimate(id, m)
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("%v estimate for flow %d is not finite: %v", m, id, x)
+				}
+				if x < -noise-1e-9 {
+					t.Fatalf("%v estimate %v below de-noising floor -%v", m, x, noise)
+				}
+				if x > k*n+1e-9 {
+					t.Fatalf("%v estimate %v exceeds k*n = %v", m, x, k*n)
+				}
+			}
+			mid, iv := est.EstimateWithInterval(id, 0.95)
+			if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) {
+				t.Fatalf("interval for flow %d is not finite: [%v, %v]", id, iv.Lo, iv.Hi)
+			}
+			if iv.Lo > iv.Hi {
+				t.Fatalf("interval for flow %d is inverted: [%v, %v]", id, iv.Lo, iv.Hi)
+			}
+			if !iv.Contains(mid) {
+				t.Fatalf("interval [%v, %v] does not contain its own estimate %v", iv.Lo, iv.Hi, mid)
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+// Package analysistest runs one framework.Analyzer over a golden fixture
+// package and checks its diagnostics against inline `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in internal/analyzers/testdata/src/<pkg>. Each fixture must
+// compile (lint findings are not compile errors); `go build ./...` never
+// sees them because the go tool skips testdata directories in wildcard
+// patterns, while this harness names the directory explicitly.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<fixture> relative to the analyzers tree and
+// verifies a's diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *framework.Analyzer, fixture string) {
+	t.Helper()
+	dir, err := fixtureDir(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := framework.Load(dir, []string{"."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s has type errors: %v", fixture, terr)
+	}
+
+	diags, err := framework.RunAnalyzers(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w)
+			}
+		}
+	}
+}
+
+// collectWants scans fixture sources for `// want "re"` comments keyed by
+// file:line.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *framework.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(strings.ReplaceAll(arg[1], `\"`, `"`))
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, arg[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureDir resolves the fixture directory from the test's working
+// directory (internal/analyzers/<pass>/ at test time).
+func fixtureDir(fixture string) (string, error) {
+	for _, rel := range []string{
+		filepath.Join("..", "testdata", "src", fixture),
+		filepath.Join("testdata", "src", fixture),
+		filepath.Join("internal", "analyzers", "testdata", "src", fixture),
+	} {
+		abs, err := filepath.Abs(rel)
+		if err != nil {
+			continue
+		}
+		if st, err := os.Stat(abs); err == nil && st.IsDir() {
+			return abs, nil
+		}
+	}
+	return "", fmt.Errorf("fixture %q not found under testdata/src", fixture)
+}

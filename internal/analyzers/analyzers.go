@@ -1,0 +1,29 @@
+// Package analyzers registers the CAESAR house lint suite: the static
+// passes that machine-check the invariants the compiler cannot see —
+// seed-threaded determinism, mutex discipline, counter saturation, float
+// hygiene in the estimator math, and the module's error contract.
+//
+// The suite runs via `go run ./cmd/caesar-lint ./...` (standalone) or
+// `go vet -vettool=$(which caesar-lint) ./...`; docs/ANALYZERS.md describes
+// each pass and the //caesar:ignore suppression syntax.
+package analyzers
+
+import (
+	"github.com/caesar-sketch/caesar/internal/analyzers/errcheck"
+	"github.com/caesar-sketch/caesar/internal/analyzers/floaterr"
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+	"github.com/caesar-sketch/caesar/internal/analyzers/lockdiscipline"
+	"github.com/caesar-sketch/caesar/internal/analyzers/saturating"
+	"github.com/caesar-sketch/caesar/internal/analyzers/seededrand"
+)
+
+// All returns the full suite in a stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		seededrand.Analyzer,
+		lockdiscipline.Analyzer,
+		saturating.Analyzer,
+		floaterr.Analyzer,
+		errcheck.Analyzer,
+	}
+}

@@ -1,0 +1,147 @@
+// Package floaterr guards the estimator math against two classic
+// floating-point correctness traps.
+//
+// The CSM/MLM estimators and their confidence intervals (PAPER.md Eqs. 20,
+// 26, 32) are built from subtractions of nearly-equal quantities — exactly
+// the regime where exact float comparison and out-of-domain math.Sqrt
+// silently produce garbage (a NaN half-width makes every interval [NaN,NaN]
+// without any test failing loudly). Inside the estimator packages
+// (internal/stats, internal/core) this pass flags
+//
+//   - `==` / `!=` where either operand is a float (the NaN self-test
+//     `x != x` is recognized and allowed), and
+//   - math.Sqrt calls whose argument syntactically contains a subtraction or
+//     a negated term, i.e. could be negative; such call sites must either
+//     clamp (math.Max(0, ...)) or carry a //caesar:ignore floaterr comment
+//     stating why the domain is safe.
+package floaterr
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the floaterr pass.
+var Analyzer = &framework.Analyzer{
+	Name: "floaterr",
+	Doc:  "flag exact float equality and possibly-negative math.Sqrt arguments in the estimator math (internal/stats, internal/core)",
+	Run:  run,
+}
+
+func inScope(pkg *types.Package) bool {
+	return strings.HasSuffix(pkg.Path(), "internal/stats") ||
+		strings.HasSuffix(pkg.Path(), "internal/core") ||
+		pkg.Name() == "stats" || pkg.Name() == "core"
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil || !inScope(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Test files assert bit-exact reproducibility on purpose (the same
+		// trace and seed must yield the same estimate, to the last bit), so
+		// exact comparison there is the invariant, not a bug. Only library
+		// code is held to tolerance-based comparison.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEquality(pass, n)
+			case *ast.CallExpr:
+				checkSqrtDomain(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatEquality(pass *framework.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+		return
+	}
+	// x != x / x == x is the portable NaN test; leave it alone.
+	if exprString(be.X) == exprString(be.Y) {
+		return
+	}
+	pass.Reportf(be.Pos(),
+		"exact float comparison %s %s %s: estimator arithmetic accumulates rounding error, compare with a tolerance or restructure the guard",
+		exprString(be.X), be.Op, exprString(be.Y))
+}
+
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func checkSqrtDomain(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sqrt" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	if neg := findNegation(call.Args[0]); neg != nil {
+		pass.Reportf(call.Pos(),
+			"math.Sqrt argument contains %q and may be negative (Sqrt of a negative is NaN, which silently poisons every downstream interval); clamp with math.Max(0, ...) or justify with a suppression comment",
+			exprString(neg))
+	}
+}
+
+// findNegation returns the first subexpression of e that subtracts or
+// negates — the syntactic signal that the value could dip below zero. It
+// does not descend into nested calls: their result is the callee's contract,
+// not this expression's arithmetic.
+func findNegation(e ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.SUB {
+				found = n
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.SUB {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

@@ -1,0 +1,176 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus the CAESAR house suppression-comment convention.
+//
+// The build environment for this repository is hermetic: the Go toolchain is
+// available but the module proxy is not, so golang.org/x/tools cannot be
+// added as a dependency. This package keeps the analyzer code shaped exactly
+// like x/tools analyzers (same Run(*Pass) signature, same Reportf idiom) so
+// that a future PR with network access can swap the import path and delete
+// this file with no changes to the analyzers themselves.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer is one static-analysis pass: a named invariant checker over a
+// single type-checked package.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in //caesar:ignore
+	// suppression comments. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `caesar-lint help`.
+	Doc string
+	// Run applies the pass to one package.
+	Run func(*Pass) error
+}
+
+// A Pass is the interface between one Analyzer and one package: the syntax
+// trees, type information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos using fmt.Sprintf formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by RunAnalyzers
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving (unsuppressed) diagnostics in position order. Suppressed
+// diagnostics are dropped according to the //caesar:ignore convention, see
+// Suppressions.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	seen := map[Diagnostic]bool{} // dedupe: nested expressions can report twice
+	for _, pkg := range pkgs {
+		sup := CollectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = name
+				if !seen[d] && !sup.Suppressed(pkg.Fset, d) {
+					seen[d] = true
+					out = append(out, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	sortDiagnostics(pkgs, out)
+	return out, nil
+}
+
+func sortDiagnostics(pkgs []*Package, ds []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0; j-- {
+			a, b := fset.Position(ds[j-1].Pos), fset.Position(ds[j].Pos)
+			if a.Filename < b.Filename || (a.Filename == b.Filename && a.Offset <= b.Offset) {
+				break
+			}
+			ds[j-1], ds[j] = ds[j], ds[j-1]
+		}
+	}
+}
+
+// --- Suppression comments -------------------------------------------------
+//
+// A finding is silenced with a justified suppression comment:
+//
+//	s.batches[i] = b //caesar:ignore lockdiscipline s is not yet shared
+//
+// or, on the line directly above the offending one:
+//
+//	//caesar:ignore seededrand,errcheck demo code, determinism not needed
+//	rand.Shuffle(...)
+//
+// The directive names one analyzer (or a comma-separated list) and MUST be
+// followed by a free-text justification; a bare directive with no
+// justification does not suppress anything, so reviewers always learn why a
+// finding was waived.
+
+var ignoreRe = regexp.MustCompile(`//caesar:ignore\s+([a-zA-Z0-9_,-]+)(\s+\S.*)?`)
+
+// A Suppressions records, per file line, which analyzers are waived there.
+type Suppressions struct {
+	// byLine maps file:line to the analyzer names suppressed on that line.
+	byLine map[string]map[string]bool
+}
+
+// CollectSuppressions scans the files' comments for //caesar:ignore
+// directives. A directive suppresses matching findings on its own line and
+// on the following line (covering both trailing and standalone comments).
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: map[string]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					// No justification: the directive is inert by design.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					s.add(pos.Filename, pos.Line, name)
+					s.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) add(file string, line int, analyzer string) {
+	key := fmt.Sprintf("%s:%d", file, line)
+	if s.byLine[key] == nil {
+		s.byLine[key] = map[string]bool{}
+	}
+	s.byLine[key][analyzer] = true
+}
+
+// Suppressed reports whether the diagnostic is waived by a directive on its
+// line or the line above.
+func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	names := s.byLine[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return names[d.Analyzer] || names["all"]
+}

@@ -1,0 +1,98 @@
+// Package saturating flags raw arithmetic updates on counter-array storage.
+//
+// CAESAR's off-chip counters are width-limited: a hardware counter cannot
+// wrap silently, and the additive-error counter literature (Ben Basat et
+// al.; ICE Buckets) shows that a single unnoticed overflow corrupts the
+// estimator undetectably — the estimate is still a plausible number, just
+// wrong. internal/counters therefore funnels every update through the
+// saturating Array.Add/Merge helpers, which clamp at Cap() and count the
+// saturation event. This pass enforces the funnel inside the counter-owning
+// packages (internal/counters, internal/core): any `++`, `--`, `+=` or `-=`
+// applied directly to an element of a uint64 slice or array bypasses the
+// saturation accounting and is reported.
+package saturating
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the saturating pass.
+var Analyzer = &framework.Analyzer{
+	Name: "saturating",
+	Doc:  "forbid raw ++/--/+=/-= on uint64 counter-array elements in internal/counters and internal/core; use the saturating Array.Add helpers",
+	Run:  run,
+}
+
+// inScope limits the pass to the packages that own counter storage. The
+// package-name alternative keeps analysistest fixtures (whose directory
+// paths differ) in scope.
+func inScope(pkg *types.Package) bool {
+	return strings.HasSuffix(pkg.Path(), "internal/counters") ||
+		strings.HasSuffix(pkg.Path(), "internal/core") ||
+		pkg.Name() == "counters" || pkg.Name() == "core"
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil || !inScope(pass.Pkg) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if isCounterElement(pass, n.X) {
+					pass.Reportf(n.Pos(),
+						"raw %s on a uint64 counter element bypasses saturating Add and can wrap silently; use the saturating helper",
+						n.Tok)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isCounterElement(pass, lhs) {
+						pass.Reportf(n.Pos(),
+							"raw %s on a uint64 counter element bypasses saturating Add and can wrap silently; use the saturating helper",
+							n.Tok)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCounterElement reports whether e is an index expression over a slice or
+// array with uint64 elements — the storage shape of a counter bank.
+func isCounterElement(pass *framework.Pass, e ast.Expr) bool {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[idx.X]
+	if !ok {
+		return false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Pointer:
+		if arr, ok := t.Elem().Underlying().(*types.Array); ok {
+			elem = arr.Elem()
+		}
+	}
+	if elem == nil {
+		return false
+	}
+	basic, ok := elem.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint64
+}

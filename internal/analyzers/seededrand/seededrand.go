@@ -1,0 +1,130 @@
+// Package seededrand forbids nondeterministic randomness sources.
+//
+// CAESAR's reproducibility contract (DESIGN.md §1) is that every random
+// choice — hash selection, remainder-unit placement, random cache eviction —
+// flows from an explicit per-sketch Seed, so a run is a pure function of
+// (config, trace). The global math/rand generator breaks that contract in
+// two ways: its state is shared process-wide (any other caller perturbs the
+// sequence), and since Go 1.20 it is auto-seeded at startup. This pass flags
+//
+//   - calls to the package-level functions of math/rand and math/rand/v2
+//     (rand.Intn, rand.Shuffle, rand.Seed, ...); constructors (rand.New,
+//     rand.NewSource, rand.NewZipf, ...) remain allowed because a *rand.Rand
+//     built from a constant or threaded seed is deterministic, and
+//   - seeding expressions derived from the wall clock
+//     (rand.NewSource(time.Now().UnixNano()) and friends), which launder a
+//     nondeterministic value into an otherwise legal constructor.
+//
+// Intentional exceptions carry a //caesar:ignore seededrand <why> comment.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand state and wall-clock seeds; all randomness must flow from an explicit Seed",
+	Run:  run,
+}
+
+// constructors of math/rand[/v2] that are deterministic given their inputs.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkg := randPkgName(pass, n); pkg != "" {
+					obj, ok := pass.TypesInfo.Uses[n.Sel]
+					if !ok {
+						return true
+					}
+					if _, isFunc := obj.(*types.Func); isFunc && !allowed[n.Sel.Name] {
+						pass.Reportf(n.Pos(),
+							"use of global %s.%s: global math/rand state breaks seed-threaded determinism; thread a *rand.Rand (or hashing.PRNG) built from an explicit seed",
+							pkg, n.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || randPkgName(pass, sel) == "" {
+					return true
+				}
+				if !allowed[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range n.Args {
+					// A nested rand constructor gets its own visit; skip it
+					// here so one bad seed is reported exactly once.
+					if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+						if s, ok := inner.Fun.(*ast.SelectorExpr); ok && randPkgName(pass, s) != "" && allowed[s.Sel.Name] {
+							continue
+						}
+					}
+					if call := findTimeNowCall(pass, arg); call != nil {
+						pass.Reportf(call.Pos(),
+							"nondeterministic seed: %s.%s seeded from time.Now makes runs irreproducible; use a constant or config-threaded seed",
+							randPkgName(pass, sel), sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// randPkgName returns the referenced package path's base ("rand") when sel's
+// qualifier names math/rand or math/rand/v2, else "".
+func randPkgName(pass *framework.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	switch pn.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		return "rand"
+	}
+	return ""
+}
+
+// findTimeNowCall returns the first call to time.Now nested anywhere in e.
+func findTimeNowCall(pass *framework.Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if ok && fn.Name() == "Now" && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

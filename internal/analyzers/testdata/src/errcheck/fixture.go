@@ -1,0 +1,33 @@
+// Package fixture exercises the errcheck analyzer: module-internal calls
+// whose error result is dropped as a bare statement are violations;
+// explicit assignment, deferred cleanup, and error-free calls are clean.
+package fixture
+
+import (
+	"errors"
+	"strconv"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+func drops() {
+	fallible() // want "error that is silently dropped"
+	pair()     // want "error that is silently dropped"
+	pure()     // clean: no error result
+}
+
+func handles() error {
+	_ = fallible() // clean: explicitly discarded
+	if err := fallible(); err != nil {
+		return err
+	}
+	defer fallible()  // clean: deferred cleanup idiom
+	strconv.Atoi("7") // clean: stdlib is classic errcheck's job, not ours
+	//caesar:ignore errcheck fixture demonstrating a justified drop
+	fallible()
+	return nil
+}

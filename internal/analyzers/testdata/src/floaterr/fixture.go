@@ -1,0 +1,38 @@
+// Package stats is a fixture for the floaterr analyzer. Its package name
+// matches the estimator packages so the pass is in scope: exact float
+// equality and possibly-negative math.Sqrt arguments are violations; the
+// NaN self-test, clamped Sqrt, and integer comparisons are clean.
+package stats
+
+import "math"
+
+func compare(a, b float64) bool {
+	if a == b { // want "exact float comparison"
+		return true
+	}
+	if b != 0 { // want "exact float comparison"
+		return false
+	}
+	if a != a { // clean: portable NaN self-test
+		return false
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+func intsAreFine(a, b int) bool { return a == b }
+
+func domains(x, y float64) float64 {
+	bad := math.Sqrt(x - y) // want "may be negative"
+	neg := math.Sqrt(-x)    // want "may be negative"
+	clamped := math.Sqrt(math.Max(0, x-y))
+	square := math.Sqrt(x * x)
+	return bad + neg + clamped + square
+}
+
+func waived(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	//caesar:ignore floaterr -2*log(p) is positive because p is in (0,1) here
+	return math.Sqrt(-2 * math.Log(p))
+}

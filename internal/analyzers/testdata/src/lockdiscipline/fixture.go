@@ -1,0 +1,53 @@
+// Package fixture exercises the lockdiscipline analyzer: fields annotated
+// "guarded by mu" must be accessed only after mu.Lock()/RLock() in the
+// enclosing function.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	n     int // guarded by mu
+	loose int
+}
+
+func (b *box) locked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) unlockedRead() int {
+	return b.n // want "access to n .guarded by mu. without a preceding"
+}
+
+func (b *box) unlockedWrite() {
+	b.loose = 1 // unguarded field: clean
+	b.n = 2     // want "access to n .guarded by mu."
+}
+
+func newBox() *box {
+	b := &box{}
+	b.n = 1 //caesar:ignore lockdiscipline b is not yet shared with any goroutine
+	return b
+}
+
+func (b *box) closureEscapes() {
+	go func() {
+		b.n++ // want "access to n .guarded by mu."
+	}()
+	b.mu.Lock()
+	b.n = 3 // clean: lock acquired above in this function
+	b.mu.Unlock()
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (b *rwbox) read(k string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m[k] // clean: RLock counts
+}

@@ -1,0 +1,40 @@
+// Package counters is a fixture for the saturating analyzer. Its package
+// name matches the counter-owning packages so the pass is in scope: raw
+// arithmetic on uint64 counter elements is a violation; the explicit
+// clamped form and non-counter updates are clean.
+package counters
+
+type bank struct {
+	vals []uint64
+	cap  uint64
+	stat int
+}
+
+func (b *bank) rawAdd(i int, v uint64) {
+	b.vals[i] += v // want "bypasses saturating Add"
+	b.vals[i]++    // want "bypasses saturating Add"
+	b.stat++       // clean: int bookkeeping, not a counter element
+}
+
+func (b *bank) satAdd(i int, v uint64) {
+	cur := b.vals[i]
+	if v > b.cap-cur {
+		b.vals[i] = b.cap // clean: explicit saturation clamp
+		return
+	}
+	b.vals[i] = cur + v // clean: guarded assignment form
+}
+
+func arrays() uint64 {
+	var arr [4]uint64
+	arr[0]++ // want "bypasses saturating Add"
+	counts := map[int]uint64{}
+	counts[1]++ // clean: maps are not counter banks
+	var f []float64 = []float64{0}
+	f[0]++ // clean: not uint64 storage
+	return arr[0] + counts[1] + uint64(f[0])
+}
+
+func waived(b *bank) {
+	b.vals[0]++ //caesar:ignore saturating fixture demonstrating a justified waiver
+}

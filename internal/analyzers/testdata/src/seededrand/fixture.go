@@ -1,0 +1,31 @@
+// Package fixture exercises the seededrand analyzer: global math/rand use
+// and wall-clock seeding are violations; seed-threaded *rand.Rand is clean.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalState() int {
+	rand.Seed(77)                      // want "use of global rand.Seed"
+	x := rand.Intn(10)                 // want "use of global rand.Intn"
+	rand.Shuffle(x, func(i, j int) {}) // want "use of global rand.Shuffle"
+	return x
+}
+
+func wallClockSeed() int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want "nondeterministic seed"
+	return r.Intn(10)
+}
+
+func seedThreaded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.4, 1, 1000)
+	return r.Intn(10) + int(z.Uint64())
+}
+
+func waived() float64 {
+	//caesar:ignore seededrand fixture demonstrating a justified waiver
+	return rand.Float64()
+}

@@ -392,7 +392,7 @@ func (e *Estimator) VarMLM(x float64) float64 {
 	d := e.deltaX(x)
 	km1 := k - 1
 	denom := 2*d + km1*km1*km1*km1/(y*y)
-	if denom == 0 {
+	if denom <= 0 {
 		return 0
 	}
 	return 2 * k * k * d * d / denom

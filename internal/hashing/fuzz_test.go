@@ -1,0 +1,49 @@
+package hashing
+
+import "testing"
+
+// FuzzFiveTupleHash checks the hash-layer contracts the sketch's
+// correctness rests on: flow-ID generation is a pure function of the tuple
+// (equal tuples always collapse to equal IDs, Section 6.1), and KSelector
+// always yields exactly k distinct in-range counter indices, reproducibly
+// for the same (flow, seed) — the "k different collision-free hash
+// functions" requirement of Section 3.1.
+func FuzzFiveTupleHash(f *testing.F) {
+	f.Add(uint32(0x0a000001), uint32(0x0a000002), uint16(443), uint16(8080), uint8(6), uint64(0), uint8(3))
+	f.Add(uint32(0), uint32(0), uint16(0), uint16(0), uint8(0), uint64(1), uint8(1))
+	f.Fuzz(func(t *testing.T, srcIP, dstIP uint32, srcPort, dstPort uint16, proto uint8, seed uint64, kRaw uint8) {
+		tup := FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: proto}
+		id := tup.ID()
+		if again := tup.ID(); again != id {
+			t.Fatalf("FiveTuple.ID is not deterministic: %x then %x", id, again)
+		}
+		clone := FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: proto}
+		if clone.ID() != id {
+			t.Fatalf("equal tuples hash differently: %x vs %x", id, clone.ID())
+		}
+
+		k := 1 + int(kRaw%8)
+		l := k + int(seed%61)
+		sel := NewKSelector(k, l, seed)
+		idx := sel.Select(id, nil)
+		if len(idx) != k {
+			t.Fatalf("Select returned %d indices, want k=%d", len(idx), k)
+		}
+		seen := map[uint32]bool{}
+		for _, i := range idx {
+			if int(i) >= l {
+				t.Fatalf("index %d out of range [0, %d)", i, l)
+			}
+			if seen[i] {
+				t.Fatalf("duplicate counter index %d: selection must be collision-free", i)
+			}
+			seen[i] = true
+		}
+		idx2 := sel.Select(id, nil)
+		for i := range idx {
+			if idx[i] != idx2[i] {
+				t.Fatalf("Select is not deterministic at position %d: %d vs %d", i, idx[i], idx2[i])
+			}
+		}
+	})
+}

@@ -237,9 +237,9 @@ func NormalCDF(x float64) float64 {
 func NormalQuantile(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
-		case p == 0:
+		case p == 0: //caesar:ignore floaterr exact sentinel: the boundary value 0 is representable and passed verbatim by callers
 			return math.Inf(-1)
-		case p == 1:
+		case p == 1: //caesar:ignore floaterr exact sentinel: the boundary value 1 is representable and passed verbatim by callers
 			return math.Inf(1)
 		default:
 			return math.NaN()
@@ -261,6 +261,7 @@ func NormalQuantile(p float64) float64 {
 	var x float64
 	switch {
 	case p < pLow:
+		//caesar:ignore floaterr 0 < p < pLow here, so log(p) < 0 and -2*log(p) > 0
 		q := math.Sqrt(-2 * math.Log(p))
 		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
 			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
@@ -270,6 +271,7 @@ func NormalQuantile(p float64) float64 {
 		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
 			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
 	default:
+		//caesar:ignore floaterr 1-pLow < p < 1 here, so log(1-p) < 0 and -2*log(1-p) > 0
 		q := math.Sqrt(-2 * math.Log(1-p))
 		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
 			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
@@ -328,10 +330,10 @@ func Pearson(xs, ys []float64) float64 {
 	if len(xs) != len(ys) {
 		panic("stats: Pearson needs equal-length slices")
 	}
-	n := float64(len(xs))
-	if n == 0 {
+	if len(xs) == 0 {
 		return 0
 	}
+	n := float64(len(xs))
 	var mx, my float64
 	for i := range xs {
 		mx += xs[i]
@@ -346,7 +348,7 @@ func Pearson(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx <= 0 || syy <= 0 {
 		return 0
 	}
 	return sxy / math.Sqrt(sxx*syy)

@@ -28,7 +28,12 @@ type Sharded struct {
 
 	mu      sync.Mutex
 	batches []shardBatch // per-shard fill buffers, guarded by mu
-	closed  bool
+	closed  bool         // guarded by mu
+	// sendWG counts in-flight full-batch sends that happen outside mu.
+	// Observe registers a send while still holding mu; Close waits for all
+	// registered senders before closing the queues, so a send can never hit
+	// a closed channel (which would panic and silently drop the batch).
+	sendWG sync.WaitGroup
 }
 
 const shardBatchSize = 256
@@ -64,7 +69,7 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 		}
 		s.shards[i] = sk
 		s.queues[i] = make(chan shardBatch, 64)
-		s.batches[i] = make(shardBatch, 0, shardBatchSize)
+		s.batches[i] = make(shardBatch, 0, shardBatchSize) //caesar:ignore lockdiscipline s is under construction and not yet shared with any goroutine
 	}
 	for i := range s.shards {
 		s.wg.Add(1)
@@ -102,10 +107,14 @@ func (s *Sharded) Observe(flow FlowID) {
 	if len(s.batches[i]) == shardBatchSize {
 		full = s.batches[i]
 		s.batches[i] = make(shardBatch, 0, shardBatchSize)
+		// Register the send before releasing mu: Close observes it under
+		// the same lock and will not close the queue until it completes.
+		s.sendWG.Add(1)
 	}
 	s.mu.Unlock()
 	if full != nil {
 		s.queues[i] <- full
+		s.sendWG.Done()
 	}
 }
 
@@ -128,6 +137,9 @@ func (s *Sharded) Close() {
 		}
 	}
 	s.mu.Unlock()
+	// Drain in-flight Observe sends (registered under mu before closed was
+	// set) so closing the queues cannot race a send.
+	s.sendWG.Wait()
 	for _, q := range s.queues {
 		close(q)
 	}
