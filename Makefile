@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz-smoke ci
+.PHONY: build test race vet lint fuzz-smoke snapshot-compat ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,13 @@ lint:
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSketchObserveEstimate -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotReadFrom -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzFiveTupleHash -fuzztime=$(FUZZTIME) ./internal/hashing
 
-ci: build vet test race lint fuzz-smoke
+# Verifies the committed CSNP golden fixtures still round-trip byte for byte
+# (writer) and bit for bit (reader). Regenerate intentionally-changed
+# fixtures with: go test ./internal/sketch -run TestSnapshotGolden -update
+snapshot-compat:
+	$(GO) test -run=TestSnapshotGoldenCompat -count=1 ./internal/sketch
+
+ci: build vet test race lint fuzz-smoke snapshot-compat

@@ -10,12 +10,24 @@
 // RCS adds -loss (also reused as the rate for -scheme sampling); CASE uses
 // -bits as its per-counter width directly; vhc uses -l registers and -k
 // virtual vector length; braids uses -l first-layer counters.
+//
+// The paper's two-phase architecture (Sec 3.2) separates online construction
+// from offline query; -save and -load realize the phases as two processes:
+//
+//	caesar-sim -scheme caesar -trace t.ctr1 -save state.csnp   # construct
+//	caesar-sim -scheme caesar -trace t.ctr1 -load state.csnp   # query
+//
+// The query process computes estimates bit-identical to what the construction
+// process would have produced (the trace is still needed for ground truth).
+// Snapshots are supported for caesar, rcs, case, and vhc.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"slices"
 	"strings"
 
 	"github.com/caesar-sketch/caesar/internal/braids"
@@ -44,11 +56,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "scheme seed")
 		loss      = flag.Float64("loss", 0, "RCS packet loss rate in [0,1)")
 		method    = flag.String("method", "csm", "estimation method: csm or mlm")
+		savePath  = flag.String("save", "", "write the sketch's end-of-epoch snapshot to this file after construction")
+		loadPath  = flag.String("load", "", "skip construction; load the sketch state from this snapshot file")
 	)
 	flag.Parse()
 
 	if *tracePath == "" {
 		fatal(fmt.Errorf("-trace is required"))
+	}
+	if *savePath != "" && *loadPath != "" {
+		fatal(fmt.Errorf("-save and -load are mutually exclusive"))
 	}
 	tr, err := loadTrace(*tracePath)
 	if err != nil {
@@ -83,17 +100,24 @@ func main() {
 	var pts []stats.EstimatePoint
 	switch *scheme {
 	case "caesar":
-		s, err := core.New(core.Config{
-			K: *k, L: *l, CounterBits: *bits,
-			CacheEntries: *entries, CacheCapacity: *capY,
-			Policy: pol, Seed: *seed,
-		})
-		if err != nil {
-			fatal(err)
+		var s *core.Sketch
+		if *loadPath != "" {
+			s = loadSnapshot(*loadPath, core.ReadSketch)
+		} else {
+			s, err = core.New(core.Config{
+				K: *k, L: *l, CounterBits: *bits,
+				CacheEntries: *entries, CacheCapacity: *capY,
+				Policy: pol, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range tr.Packets {
+				s.Observe(p.Flow)
+			}
+			s.Flush()
 		}
-		for _, p := range tr.Packets {
-			s.Observe(p.Flow)
-		}
+		saveSnapshot(*savePath, s)
 		e := s.Estimator()
 		m := core.CSMMethod
 		if *method == "mlm" {
@@ -102,18 +126,26 @@ func main() {
 		for id, actual := range tr.Truth {
 			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.Estimate(id, m)})
 		}
+		cfg := s.Config()
 		cs := s.CacheStats()
 		fmt.Printf("caesar: L=%d M=%d y=%d hits=%d misses=%d evictions=%d+%d+%d sramWrites=%d\n",
-			*l, *entries, *capY, cs.Hits, cs.Misses,
+			cfg.L, cfg.CacheEntries, cfg.CacheCapacity, cs.Hits, cs.Misses,
 			cs.OverflowEvictions, cs.PressureEvictions, cs.FlushEvictions, s.SRAM().Writes())
 	case "rcs":
-		s, err := rcs.New(rcs.Config{K: *k, L: *l, CounterBits: *bits, Seed: *seed, LossRate: *loss})
-		if err != nil {
-			fatal(err)
+		var s *rcs.Sketch
+		if *loadPath != "" {
+			s = loadSnapshot(*loadPath, rcs.ReadSketch)
+		} else {
+			s, err = rcs.New(rcs.Config{K: *k, L: *l, CounterBits: *bits, Seed: *seed, LossRate: *loss})
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range tr.Packets {
+				s.Observe(p.Flow)
+			}
+			s.Flush()
 		}
-		for _, p := range tr.Packets {
-			s.Observe(p.Flow)
-		}
+		saveSnapshot(*savePath, s)
 		e := s.Estimator()
 		for id, actual := range tr.Truth {
 			if *method == "mlm" {
@@ -123,33 +155,46 @@ func main() {
 			}
 		}
 		fmt.Printf("rcs: L=%d recorded=%d dropped=%d (loss %.3f)\n",
-			*l, s.Recorded(), s.Dropped(), float64(s.Dropped())/float64(tr.NumPackets()))
+			s.Config().L, s.Recorded(), s.Dropped(), float64(s.Dropped())/float64(tr.NumPackets()))
 	case "case":
-		s, err := caseest.New(caseest.Config{
-			L: q, CounterBits: *bits, MaxFlowSize: 1e6,
-			CacheEntries: *entries, CacheCapacity: *capY,
-			Policy: pol, Seed: *seed,
-		})
-		if err != nil {
-			fatal(err)
+		var s *caseest.Sketch
+		if *loadPath != "" {
+			s = loadSnapshot(*loadPath, caseest.ReadSketch)
+		} else {
+			s, err = caseest.New(caseest.Config{
+				L: q, CounterBits: *bits, MaxFlowSize: 1e6,
+				CacheEntries: *entries, CacheCapacity: *capY,
+				Policy: pol, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range tr.Packets {
+				s.Observe(p.Flow)
+			}
+			s.Flush()
 		}
-		for _, p := range tr.Packets {
-			s.Observe(p.Flow)
-		}
-		s.Flush()
+		saveSnapshot(*savePath, s)
 		for id, actual := range tr.Truth {
 			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(id)})
 		}
 		fmt.Printf("case: L=%d bits=%d maxRepresentable=%.1f powOps=%d sramWrites=%d\n",
-			q, *bits, s.MaxRepresentable(), s.PowOps(), s.SRAMWrites())
+			s.Config().L, s.Config().CounterBits, s.MaxRepresentable(), s.PowOps(), s.SRAMWrites())
 	case "vhc":
-		s, err := vhc.New(vhc.Config{Registers: *l, S: *k, Seed: *seed})
-		if err != nil {
-			fatal(err)
+		var s *vhc.Sketch
+		if *loadPath != "" {
+			s = loadSnapshot(*loadPath, vhc.ReadSketch)
+		} else {
+			s, err = vhc.New(vhc.Config{Registers: *l, S: *k, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range tr.Packets {
+				s.Observe(p.Flow)
+			}
+			s.Flush()
 		}
-		for _, p := range tr.Packets {
-			s.Observe(p.Flow)
-		}
+		saveSnapshot(*savePath, s)
 		flows := make([]hashing.FlowID, 0, q)
 		for id := range tr.Truth {
 			flows = append(flows, id)
@@ -159,8 +204,11 @@ func main() {
 			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: ests[i]})
 		}
 		fmt.Printf("vhc: m=%d s=%d saturations=%d (%.2f KB)\n",
-			*l, *k, s.Saturations(), s.MemoryKB())
+			s.Config().Registers, s.Config().S, s.Saturations(), s.MemoryKB())
 	case "braids":
+		if *savePath != "" || *loadPath != "" {
+			fatal(fmt.Errorf("scheme braids does not support snapshots"))
+		}
 		s, err := braids.New(braids.Config{
 			Layer1Counters: *l, Layer2Counters: *l / 8, Seed: *seed,
 		})
@@ -174,6 +222,9 @@ func main() {
 		for id := range tr.Truth {
 			flows = append(flows, id)
 		}
+		// The MP decoder is sensitive to flow order; sort so repeated runs
+		// print identical results.
+		slices.Sort(flows)
 		res := s.Decode(flows, 40)
 		for i, id := range flows {
 			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: res.Estimates[i]})
@@ -181,6 +232,9 @@ func main() {
 		fmt.Printf("braids: l1=%d l2=%d converged=%v iters=%d (%.2f KB)\n",
 			*l, *l/8, res.Converged, res.Iterations, s.MemoryKB())
 	case "sampling":
+		if *savePath != "" || *loadPath != "" {
+			fatal(fmt.Errorf("scheme sampling does not support snapshots"))
+		}
 		rate := *loss // reuse the flag: sampling rate
 		if rate <= 0 {
 			rate = 0.01
@@ -205,6 +259,44 @@ func main() {
 	fmt.Println(expt.Table(expt.AccuracyRows([]expt.Accuracy{acc})))
 	fmt.Println("error vs actual flow size:")
 	fmt.Println(expt.Table(expt.BucketRows(acc)))
+}
+
+// saveSnapshot writes the sketch's snapshot to path; a no-op when path is
+// empty so call sites can pass the -save flag unconditionally.
+func saveSnapshot(path string, s io.WriterTo) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := s.WriteTo(f)
+	if err != nil {
+		f.Close() //caesar:ignore errcheck the WriteTo error is already fatal; nothing to add from the failed close
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("snapshot: saved %d bytes to %s\n", n, path)
+}
+
+// loadSnapshot reads a sketch snapshot from path using a scheme-specific
+// reader (core.ReadSketch, rcs.ReadSketch, ...). The reader rejects
+// snapshots written by a different scheme, so -scheme and -load must agree.
+func loadSnapshot[T any](path string, read func(io.Reader) (T, int64, error)) T {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	s, n, err := read(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("snapshot: loaded %d bytes from %s\n", n, path)
+	return s
 }
 
 // loadTrace reads either a CTR1 trace or a libpcap capture, sniffed by

@@ -1,6 +1,7 @@
 package caesar
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -71,6 +72,95 @@ func FuzzSketchObserveEstimate(f *testing.F) {
 			}
 			if !iv.Contains(mid) {
 				t.Fatalf("interval [%v, %v] does not contain its own estimate %v", iv.Lo, iv.Hi, mid)
+			}
+		}
+	})
+}
+
+// FuzzSnapshotReadFrom throws arbitrary bytes at every public snapshot
+// reader. The contract under test: corrupted, truncated, or adversarial
+// snapshots are reported as errors — never a panic, never a hang on a huge
+// length prefix — and a failed ReadFrom leaves the receiver untouched. The
+// seed corpus includes a genuine snapshot of each container kind so the
+// mutator explores the deep decode paths, not just the magic check.
+func FuzzSnapshotReadFrom(f *testing.F) {
+	mkSketch := func(seed uint64) *Sketch {
+		sk, err := New(Config{Counters: 128, CacheEntries: 16, CacheCapacity: 8, Seed: seed})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			sk.Observe(FlowID(i % 40))
+		}
+		return sk
+	}
+	var plain bytes.Buffer
+	if _, err := mkSketch(3).WriteTo(&plain); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+
+	sh, err := NewSharded(2, Config{Counters: 128, CacheEntries: 16, CacheCapacity: 8, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		sh.Observe(FlowID(i % 40))
+	}
+	sh.Close()
+	var sharded bytes.Buffer
+	if _, err := sh.Snapshot(&sharded); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sharded.Bytes())
+
+	win, err := NewWindow(2, Config{Counters: 128, CacheEntries: 16, CacheCapacity: 8, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		win.Observe(FlowID(i % 40))
+	}
+	if err := win.Rotate(); err != nil {
+		f.Fatal(err)
+	}
+	var window bytes.Buffer
+	if _, err := win.WriteTo(&window); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(window.Bytes())
+
+	f.Add([]byte("CSNP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sk, err := ReadSketch(bytes.NewReader(data)); err == nil {
+			// A snapshot that decodes must answer queries sanely.
+			if x := sk.Estimate(1); math.IsNaN(x) {
+				t.Fatalf("loaded sketch returned NaN estimate")
+			}
+		}
+
+		// A failed ReadFrom must leave the receiver bit-identical.
+		recv := mkSketch(9)
+		want := recv.Estimate(1)
+		if _, err := recv.ReadFrom(bytes.NewReader(data)); err != nil {
+			if got := recv.Estimate(1); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("failed ReadFrom mutated receiver: %v != %v", got, want)
+			}
+		}
+
+		if s, err := ReadShardedSnapshot(bytes.NewReader(data)); err == nil {
+			if e, err := s.Estimator(); err != nil {
+				t.Fatalf("loaded sharded snapshot rejected Estimator: %v", err)
+			} else if x := e.Estimate(1, CSM); math.IsNaN(x) {
+				t.Fatalf("loaded sharded snapshot returned NaN estimate")
+			}
+		}
+
+		if w, err := ReadWindow(bytes.NewReader(data)); err == nil {
+			if x := w.Estimate(1, CSM); math.IsNaN(x) {
+				t.Fatalf("loaded window returned NaN estimate")
 			}
 		}
 	})

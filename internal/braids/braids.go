@@ -134,6 +134,11 @@ func (s *Sketch) carry(i uint32) {
 	}
 }
 
+// Flush is a no-op: Counter Braids has no cache stage to drain. It exists
+// so the sketch satisfies the module-wide sketch.Ingester contract and can
+// be driven by the shared experiment runner.
+func (s *Sketch) Flush() {}
+
 // Layer2Saturations reports dropped carries (layer 2 undersized).
 func (s *Sketch) Layer2Saturations() int { return s.l2sat }
 

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/sketch"
 )
 
 // Policy selects the replacement algorithm used under table pressure.
@@ -316,6 +317,46 @@ func (c *Cache) touch(s int32) {
 	}
 	c.unlink(s)
 	c.pushFront(s)
+}
+
+// EncodeState appends the cache's snapshot state to a payload. Snapshots
+// are taken at the end of a measurement epoch, after Flush, so the table is
+// empty by contract; only the observability counters need to survive. The
+// caller (the owning sketch) is responsible for flushing first.
+func (c *Cache) EncodeState(e *sketch.Encoder) {
+	if len(c.occ) != 0 {
+		panic("cache: EncodeState on a non-empty cache; flush the epoch first")
+	}
+	e.Int(c.stats.Packets)
+	e.Int(c.stats.Hits)
+	e.Int(c.stats.Misses)
+	e.Int(c.stats.OverflowEvictions)
+	e.Int(c.stats.PressureEvictions)
+	e.Int(c.stats.FlushEvictions)
+	e.U64(c.stats.EvictedMass)
+}
+
+// DecodeState restores statistics written by EncodeState into this (fresh,
+// empty) cache.
+func (c *Cache) DecodeState(d *sketch.Decoder) error {
+	st := Stats{
+		Packets:           d.Int(),
+		Hits:              d.Int(),
+		Misses:            d.Int(),
+		OverflowEvictions: d.Int(),
+		PressureEvictions: d.Int(),
+		FlushEvictions:    d.Int(),
+		EvictedMass:       d.U64(),
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if st.Hits+st.Misses != st.Packets {
+		return fmt.Errorf("cache: snapshot stats inconsistent: %d hits + %d misses != %d packets",
+			st.Hits, st.Misses, st.Packets)
+	}
+	c.stats = st
+	return nil
 }
 
 // MemoryKB returns the paper's cache size accounting (Section 6.2):

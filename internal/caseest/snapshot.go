@@ -1,0 +1,142 @@
+package caseest
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/sketch"
+)
+
+// AlgoName identifies CASE snapshots in the CSNP container.
+const AlgoName = "case"
+
+// Interface compliance: CASE is a sketch.Sketch.
+var _ sketch.Sketch = (*Sketch)(nil)
+
+// EncodeState appends the sketch's complete post-flush state to a snapshot
+// payload: configuration, accounting, cache statistics, the one-to-one flow
+// assignment (in allocation order, so the map rebuilds deterministically),
+// the compressed counter codes, and the DISCO scale accounting.
+func (s *Sketch) EncodeState(e *sketch.Encoder) {
+	if !s.flushed {
+		panic("caseest: EncodeState before Flush; snapshots are end-of-epoch artifacts")
+	}
+	e.Section("conf", func(e *sketch.Encoder) {
+		e.Int(s.cfg.L)
+		e.Int(s.cfg.CounterBits)
+		e.F64(s.cfg.MaxFlowSize)
+		e.Int(s.cfg.CacheEntries)
+		e.U64(s.cfg.CacheCapacity)
+		e.U8(uint8(s.cfg.Policy))
+		e.U64(s.cfg.Seed)
+	})
+	e.Section("stat", func(e *sketch.Encoder) {
+		e.Int(s.sramWrites)
+		e.Int(s.unassigned)
+	})
+	e.Section("cach", s.cache.EncodeState)
+	e.Section("asgn", func(e *sketch.Encoder) {
+		// Flows by counter index: assignment is dense and first-come, so a
+		// slice indexed by counter id captures the map exactly.
+		flows := make([]uint64, len(s.assign))
+		for f, idx := range s.assign {
+			flows[idx] = uint64(f)
+		}
+		e.U64s(flows)
+	})
+	e.Section("code", func(e *sketch.Encoder) { e.U64s(s.codes) })
+	e.Section("disc", s.scale.EncodeState)
+}
+
+// DecodeSketchState rebuilds a flushed sketch from state written by
+// EncodeState. The DISCO scale is reconstructed deterministically from the
+// configuration and cross-checked against the stored parameters.
+func DecodeSketchState(d *sketch.Decoder) (*Sketch, error) {
+	var cfg Config
+	d.Section("conf", func(d *sketch.Decoder) {
+		cfg.L = d.Int()
+		cfg.CounterBits = d.Int()
+		cfg.MaxFlowSize = d.F64()
+		cfg.CacheEntries = d.Int()
+		cfg.CacheCapacity = d.U64()
+		cfg.Policy = cache.Policy(d.U8())
+		cfg.Seed = d.U64()
+	})
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("caseest: snapshot configuration rejected: %w", err)
+	}
+	d.Section("stat", func(d *sketch.Decoder) {
+		s.sramWrites = d.Int()
+		s.unassigned = d.Int()
+	})
+	var cacheErr error
+	d.Section("cach", func(d *sketch.Decoder) { cacheErr = s.cache.DecodeState(d) })
+	var flows []uint64
+	d.Section("asgn", func(d *sketch.Decoder) { flows = d.U64s() })
+	var codes []uint64
+	d.Section("code", func(d *sketch.Decoder) { codes = d.U64s() })
+	var scaleErr error
+	d.Section("disc", func(d *sketch.Decoder) { scaleErr = s.scale.DecodeState(d) })
+	for _, err := range []error{d.Err(), cacheErr, scaleErr} {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(flows) > s.cfg.L {
+		return nil, fmt.Errorf("caseest: snapshot assigns %d flows but only %d counters exist", len(flows), s.cfg.L)
+	}
+	for idx, f := range flows {
+		flow := hashing.FlowID(f)
+		if _, dup := s.assign[flow]; dup {
+			return nil, fmt.Errorf("caseest: snapshot assigns flow %d to two counters", f)
+		}
+		s.assign[flow] = int32(idx)
+	}
+	if len(codes) != s.cfg.L {
+		return nil, fmt.Errorf("caseest: snapshot carries %d codes for L=%d", len(codes), s.cfg.L)
+	}
+	for i, c := range codes {
+		if c > s.scale.MaxCode {
+			return nil, fmt.Errorf("caseest: snapshot code %d exceeds MaxCode %d", i, s.scale.MaxCode)
+		}
+	}
+	copy(s.codes, codes)
+	s.flushed = true
+	return s, nil
+}
+
+// WriteTo serializes the sketch in the CSNP snapshot format, flushing the
+// construction phase first. It implements io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	s.Flush()
+	var e sketch.Encoder
+	s.EncodeState(&e)
+	return sketch.WriteSnapshot(w, AlgoName, e.Bytes())
+}
+
+// ReadFrom replaces the sketch with the state read from a CSNP snapshot.
+// It implements io.ReaderFrom; on error the receiver is left unchanged.
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	ns, n, err := ReadSketch(r)
+	if err != nil {
+		return n, err
+	}
+	*s = *ns
+	return n, nil
+}
+
+// ReadSketch reads a CASE snapshot into a fresh sketch.
+func ReadSketch(r io.Reader) (*Sketch, int64, error) {
+	payload, n, err := sketch.ReadSnapshot(r, AlgoName)
+	if err != nil {
+		return nil, n, err
+	}
+	s, err := DecodeSketchState(sketch.NewDecoder(payload))
+	return s, n, err
+}

@@ -1,0 +1,142 @@
+package caseest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/sketch"
+)
+
+func buildLoadedSketch(t *testing.T) *Sketch {
+	t.Helper()
+	s, err := New(Config{
+		L:             300,
+		CounterBits:   10,
+		MaxFlowSize:   50000,
+		CacheEntries:  32,
+		CacheCapacity: 8,
+		Policy:        cache.Random,
+		Seed:          21,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := hashing.NewPRNG(9)
+	for i := 0; i < 25000; i++ {
+		// More flows than counters, so the unassigned path is exercised too.
+		s.Observe(hashing.FlowID(rng.Intn(400)))
+	}
+	return s
+}
+
+func TestSnapshotRoundTripBitExact(t *testing.T) {
+	s := buildLoadedSketch(t)
+
+	var buf bytes.Buffer
+	wn, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	var r Sketch
+	rn, err := r.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if rn != wn {
+		t.Fatalf("ReadFrom consumed %d bytes, snapshot is %d", rn, wn)
+	}
+
+	if r.NumPackets() != s.NumPackets() {
+		t.Errorf("NumPackets: got %d, want %d", r.NumPackets(), s.NumPackets())
+	}
+	if r.SRAMWrites() != s.SRAMWrites() {
+		t.Errorf("SRAMWrites: got %d, want %d", r.SRAMWrites(), s.SRAMWrites())
+	}
+	if r.Unassigned() != s.Unassigned() {
+		t.Errorf("Unassigned: got %d, want %d", r.Unassigned(), s.Unassigned())
+	}
+	if r.AssignedFlows() != s.AssignedFlows() {
+		t.Errorf("AssignedFlows: got %d, want %d", r.AssignedFlows(), s.AssignedFlows())
+	}
+	if r.PowOps() != s.PowOps() {
+		t.Errorf("PowOps: got %d, want %d", r.PowOps(), s.PowOps())
+	}
+	if got, want := r.CacheStats(), s.CacheStats(); got != want {
+		t.Errorf("CacheStats: got %+v, want %+v", got, want)
+	}
+	for f := hashing.FlowID(0); f < 450; f++ {
+		if a, b := s.Estimate(f), r.Estimate(f); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("flow %d: Estimate %v != %v", f, a, b)
+		}
+	}
+}
+
+func TestSnapshotLoadedSketchIsQueryOnly(t *testing.T) {
+	s := buildLoadedSketch(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	r, _, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatalf("ReadSketch: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe on a loaded snapshot should panic")
+		}
+	}()
+	r.Observe(1)
+}
+
+func TestSnapshotRejectsDuplicateAssignment(t *testing.T) {
+	s := buildLoadedSketch(t)
+	s.Flush()
+	var e sketch.Encoder
+	e.Section("conf", func(e *sketch.Encoder) {
+		e.Int(s.cfg.L)
+		e.Int(s.cfg.CounterBits)
+		e.F64(s.cfg.MaxFlowSize)
+		e.Int(s.cfg.CacheEntries)
+		e.U64(s.cfg.CacheCapacity)
+		e.U8(uint8(s.cfg.Policy))
+		e.U64(s.cfg.Seed)
+	})
+	e.Section("stat", func(e *sketch.Encoder) { e.Int(0); e.Int(0) })
+	e.Section("cach", s.cache.EncodeState)
+	e.Section("asgn", func(e *sketch.Encoder) { e.U64s([]uint64{7, 7}) })
+	e.Section("code", func(e *sketch.Encoder) { e.U64s(make([]uint64, s.cfg.L)) })
+	e.Section("disc", s.scale.EncodeState)
+	if _, err := DecodeSketchState(sketch.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("decode accepted a flow assigned to two counters")
+	}
+}
+
+func TestSnapshotRejectsOversizedCode(t *testing.T) {
+	s := buildLoadedSketch(t)
+	s.Flush()
+	var e sketch.Encoder
+	e.Section("conf", func(e *sketch.Encoder) {
+		e.Int(s.cfg.L)
+		e.Int(s.cfg.CounterBits)
+		e.F64(s.cfg.MaxFlowSize)
+		e.Int(s.cfg.CacheEntries)
+		e.U64(s.cfg.CacheCapacity)
+		e.U8(uint8(s.cfg.Policy))
+		e.U64(s.cfg.Seed)
+	})
+	e.Section("stat", func(e *sketch.Encoder) { e.Int(0); e.Int(0) })
+	e.Section("cach", s.cache.EncodeState)
+	e.Section("asgn", func(e *sketch.Encoder) { e.U64s(nil) })
+	codes := make([]uint64, s.cfg.L)
+	codes[0] = s.scale.MaxCode + 1
+	e.Section("code", func(e *sketch.Encoder) { e.U64s(codes) })
+	e.Section("disc", s.scale.EncodeState)
+	if _, err := DecodeSketchState(sketch.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("decode accepted a code beyond the scale's MaxCode")
+	}
+}

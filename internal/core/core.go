@@ -94,6 +94,9 @@ type Sketch struct {
 	// MergeSRAM.
 	mergedPackets uint64
 	mergedUnits   uint64
+	// est caches the default query-phase view for Estimate; invalidated
+	// whenever the SRAM contents change after a flush (MergeSRAM).
+	est *Estimator
 }
 
 // New builds a CAESAR sketch from cfg.
@@ -221,7 +224,18 @@ func (s *Sketch) MergeSRAM(src *Sketch) error {
 	}
 	s.mergedPackets += src.NumPackets()
 	s.mergedUnits += src.Units()
+	s.est = nil // total mass and counters changed; rebuild on next Estimate
 	return nil
+}
+
+// Estimate returns the flow's estimated size by the paper's default query
+// method (CSM), flushing the construction phase first if needed. For MLM or
+// confidence intervals, use Estimator().
+func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
+	if s.est == nil {
+		s.est = s.Estimator()
+	}
+	return s.est.CSM(flow)
 }
 
 // Estimator returns the query-phase view over this sketch's SRAM. It

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"github.com/caesar-sketch/caesar/internal/sketch"
 )
 
 // Array is an off-chip SRAM counter array: L counters, each of capacity
@@ -185,6 +187,50 @@ func BitsForBudget(kb float64, l int) (int, error) {
 }
 
 // --- Serialization --------------------------------------------------------
+
+// EncodeState appends the array's complete state — shape, statistics, and
+// values — to a snapshot payload. Unlike the standalone CSA1 dump below,
+// this includes the saturation and write counters so observability survives
+// a snapshot round trip bit-exactly.
+func (a *Array) EncodeState(e *sketch.Encoder) {
+	e.Int(len(a.vals))
+	e.Int(a.bits)
+	e.Int(a.sat)
+	e.Int(a.writes)
+	e.U64s(a.vals)
+}
+
+// DecodeArrayState reads state written by EncodeState, validating shape and
+// per-counter capacity as ReadArray does.
+func DecodeArrayState(d *sketch.Decoder) (*Array, error) {
+	l := d.Int()
+	bits := d.Int()
+	sat := d.Int()
+	writes := d.Int()
+	vals := d.U64s()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if l > 1<<31 {
+		return nil, fmt.Errorf("counters: implausible snapshot L=%d", l)
+	}
+	a, err := NewArray(l, bits)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != l {
+		return nil, fmt.Errorf("counters: snapshot carries %d values for L=%d", len(vals), l)
+	}
+	for i, v := range vals {
+		if v > a.cap {
+			return nil, fmt.Errorf("counters: snapshot value %d exceeds %d-bit capacity", i, bits)
+		}
+	}
+	copy(a.vals, vals)
+	a.sat = sat
+	a.writes = writes
+	return a, nil
+}
 
 var arrayMagic = [4]byte{'C', 'S', 'A', '1'}
 

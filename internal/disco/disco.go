@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/sketch"
 )
 
 // Scale is a DISCO counter codec: the mapping between stored counter codes
@@ -152,6 +153,34 @@ func (s *Scale) BulkAdd(code uint64, v uint64, rng *hashing.PRNG) uint64 {
 		newCode = code // never decrease: counting is monotone
 	}
 	return newCode
+}
+
+// EncodeState appends the scale's parameters and accounting to a snapshot
+// payload. Alpha is stored by bit pattern, so a restored scale's decode
+// arithmetic is bit-identical to the writer's.
+func (s *Scale) EncodeState(e *sketch.Encoder) {
+	e.F64(s.Alpha)
+	e.U64(s.MaxCode)
+	e.Int(s.powOps)
+}
+
+// DecodeState restores state written by EncodeState into this scale. The
+// scale is normally reconstructed from configuration (ScaleForRange is
+// deterministic); the stored parameters must agree, which catches payloads
+// whose configuration and scale sections have been mixed across snapshots.
+func (s *Scale) DecodeState(d *sketch.Decoder) error {
+	alpha := d.F64()
+	maxCode := d.U64()
+	powOps := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if math.Float64bits(alpha) != math.Float64bits(s.Alpha) || maxCode != s.MaxCode {
+		return fmt.Errorf("disco: snapshot scale (alpha=%v maxCode=%d) does not match configuration (alpha=%v maxCode=%d)",
+			alpha, maxCode, s.Alpha, s.MaxCode)
+	}
+	s.powOps = powOps
+	return nil
 }
 
 // PowOps returns how many power/log operations the codec has performed —

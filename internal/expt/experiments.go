@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/caesar-sketch/caesar/internal/braids"
 	"github.com/caesar-sketch/caesar/internal/cache"
@@ -15,6 +16,7 @@ import (
 	"github.com/caesar-sketch/caesar/internal/hwsim"
 	"github.com/caesar-sketch/caesar/internal/rcs"
 	"github.com/caesar-sketch/caesar/internal/sampling"
+	"github.com/caesar-sketch/caesar/internal/sketch"
 	"github.com/caesar-sketch/caesar/internal/stats"
 	"github.com/caesar-sketch/caesar/internal/vhc"
 )
@@ -68,6 +70,28 @@ func ByID(id string) (Experiment, error) {
 
 // --- Scheme runners ----------------------------------------------------------
 
+// ingest drives every packet of the workload through a sketch and ends the
+// measurement epoch — the construction phase shared by all algorithms. This
+// is the single drive loop behind the experiments; the per-scheme runners
+// below differ only in configuration and in the estimator they build for
+// the query phase.
+func ingest(w *Workload, s sketch.Ingester) {
+	for _, p := range w.Trace.Packets {
+		s.Observe(p.Flow)
+	}
+	s.Flush()
+}
+
+// collect queries est for every flow in the trace's ground truth and pairs
+// each estimate with the actual size.
+func collect(w *Workload, est func(hashing.FlowID) float64) []stats.EstimatePoint {
+	pts := make([]stats.EstimatePoint, 0, w.Trace.NumFlows())
+	for id, actual := range w.Trace.Truth {
+		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: est(id)})
+	}
+	return pts
+}
+
 // runCAESAR constructs and queries one CAESAR configuration over the
 // workload, returning points for every flow.
 func runCAESAR(w *Workload, policy cache.Policy, method core.Method, k int, l int, y uint64, m int) ([]stats.EstimatePoint, *core.Sketch, error) {
@@ -83,16 +107,11 @@ func runCAESAR(w *Workload, policy cache.Policy, method core.Method, k int, l in
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, p := range w.Trace.Packets {
-		s.Observe(p.Flow)
-	}
+	ingest(w, s)
 	e := s.Estimator()
 	e.Q = float64(w.Trace.NumFlows())
 	e.SizeSecondMoment = w.SecondMoment()
-	pts := make([]stats.EstimatePoint, 0, w.Trace.NumFlows())
-	for id, actual := range w.Trace.Truth {
-		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.Estimate(id, method)})
-	}
+	pts := collect(w, func(id hashing.FlowID) float64 { return e.Estimate(id, method) })
 	return pts, s, nil
 }
 
@@ -109,15 +128,9 @@ func runRCS(w *Workload, lossRate float64, l int) ([]stats.EstimatePoint, *rcs.S
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, p := range w.Trace.Packets {
-		s.Observe(p.Flow)
-	}
+	ingest(w, s)
 	e := s.Estimator()
-	pts := make([]stats.EstimatePoint, 0, w.Trace.NumFlows())
-	for id, actual := range w.Trace.Truth {
-		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.CSM(id)})
-	}
-	return pts, s, nil
+	return collect(w, e.CSM), s, nil
 }
 
 // runCASE constructs and queries CASE under an SRAM budget in KB: the
@@ -140,15 +153,8 @@ func runCASE(w *Workload, budgetKB float64) ([]stats.EstimatePoint, *caseest.Ske
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, p := range w.Trace.Packets {
-		s.Observe(p.Flow)
-	}
-	s.Flush()
-	pts := make([]stats.EstimatePoint, 0, q)
-	for id, actual := range w.Trace.Truth {
-		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(id)})
-	}
-	return pts, s, nil
+	ingest(w, s)
+	return collect(w, s.Estimate), s, nil
 }
 
 func (w *Workload) largeCut() float64 { return 10 * w.Trace.MeanFlowSize() }
@@ -409,9 +415,7 @@ func TableCICoverage(w *Workload) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range w.Trace.Packets {
-		s.Observe(p.Flow)
-	}
+	ingest(w, s)
 	paperEst := s.Estimator() // no distribution knowledge: Equation 26 as-is
 
 	rows := [][]string{{"variance model", "alpha", "coverage", "mean width"}}
@@ -528,6 +532,9 @@ func AblationBraids(w *Workload) (*Report, error) {
 	for id := range w.Trace.Truth {
 		ids = append(ids, id)
 	}
+	// The MP decoder's fixed-point iteration is sensitive to flow order, and
+	// Truth is a map: sort so the report is identical run to run.
+	slices.Sort(ids)
 	rows := [][]string{{
 		"bits/flow", "CB exact", "CB ARE(elephant)", "CAESAR ARE(elephant)",
 	}}
@@ -552,9 +559,7 @@ func AblationBraids(w *Workload) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range w.Trace.Packets {
-			cb.Observe(p.Flow)
-		}
+		ingest(w, cb)
 		res := cb.Decode(ids, 40)
 		exact := 0
 		cbPts := make([]stats.EstimatePoint, len(ids))
@@ -618,14 +623,8 @@ func AblationSampling(w *Workload) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range w.Trace.Packets {
-			s.Observe(p.Flow)
-		}
-		pts := make([]stats.EstimatePoint, len(flows))
-		for i, id := range flows {
-			pts[i] = stats.EstimatePoint{Actual: w.Trace.Truth[id], Estimated: s.Estimate(id)}
-		}
-		acc := MeasureAccuracy("sampling", pts, w.largeCut())
+		ingest(w, s)
+		acc := MeasureAccuracy("sampling", collect(w, s.Estimate), w.largeCut())
 		rows = append(rows, []string{
 			fmt.Sprintf("sampled 1/%d", int(1/rate+0.5)),
 			fmt.Sprintf("%.4f", rate),
@@ -666,9 +665,7 @@ func AblationVHC(w *Workload) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range w.Trace.Packets {
-		v.Observe(p.Flow)
-	}
+	ingest(w, v)
 	ests := v.EstimateMany(flows)
 	pts := make([]stats.EstimatePoint, len(flows))
 	for i, id := range flows {

@@ -147,6 +147,10 @@ func NewKSelector(k, l int, seed uint64) *KSelector {
 // K returns the number of indices per flow.
 func (s *KSelector) K() int { return s.k }
 
+// Seed returns the seed the selector was built with, so query-phase state
+// can be serialized and an identical selector rebuilt elsewhere.
+func (s *KSelector) Seed() uint64 { return s.seed }
+
 // L returns the size of the index space.
 func (s *KSelector) L() int { return int(s.l) }
 

@@ -73,6 +73,10 @@ type Sketch struct {
 	idxBuf   []uint32
 	recorded uint64
 	dropped  uint64
+	flushed  bool
+	// est caches the default query-phase view for Estimate; invalidated on
+	// Flush so pre-flush probes never pin a stale total mass.
+	est *Estimator
 }
 
 // New builds an RCS sketch from cfg.
@@ -97,9 +101,16 @@ func New(cfg Config) (*Sketch, error) {
 // Config returns the (defaulted) configuration.
 func (s *Sketch) Config() Config { return s.cfg }
 
-// Observe processes one packet. It reports whether the packet was recorded
+// Observe processes one packet (the sketch.Ingester hot path). Use
+// ObserveRecorded to learn whether the loss front end kept the packet.
+func (s *Sketch) Observe(flow hashing.FlowID) { s.ObserveRecorded(flow) }
+
+// ObserveRecorded processes one packet and reports whether it was recorded
 // (false means it was dropped by the loss front end).
-func (s *Sketch) Observe(flow hashing.FlowID) bool {
+func (s *Sketch) ObserveRecorded(flow hashing.FlowID) bool {
+	if s.flushed {
+		panic("rcs: Observe after Flush; online phase is over")
+	}
 	if s.cfg.LossRate > 0 && s.lossRng.Float64() < s.cfg.LossRate {
 		s.dropped++
 		return false
@@ -109,6 +120,28 @@ func (s *Sketch) Observe(flow hashing.FlowID) bool {
 	s.sram.Add(int(s.idxBuf[r]), 1)
 	s.recorded++
 	return true
+}
+
+// Flush ends the online phase. RCS has no cache to drain — the call only
+// freezes the sketch so the query phase (and snapshots) see a stable state,
+// matching the lifecycle contract shared by every sketch in this module.
+func (s *Sketch) Flush() {
+	if s.flushed {
+		return
+	}
+	s.flushed = true
+	s.est = nil
+}
+
+// Estimate returns the flow's CSM estimate — RCS's default query method —
+// ending the online phase first if the caller has not. For MLM, use
+// Estimator().
+func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
+	s.Flush()
+	if s.est == nil {
+		s.est = s.Estimator()
+	}
+	return s.est.CSM(flow)
 }
 
 // Recorded returns how many packets reached the counters.

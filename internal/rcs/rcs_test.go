@@ -44,7 +44,7 @@ func TestLosslessMassConservation(t *testing.T) {
 	rng := hashing.NewPRNG(2)
 	const n = 30000
 	for i := 0; i < n; i++ {
-		if !s.Observe(hashing.FlowID(rng.Intn(500))) {
+		if !s.ObserveRecorded(hashing.FlowID(rng.Intn(500))) {
 			t.Fatal("lossless sketch dropped a packet")
 		}
 	}

@@ -1,0 +1,114 @@
+package rcs
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/caesar-sketch/caesar/internal/counters"
+	"github.com/caesar-sketch/caesar/internal/sketch"
+)
+
+// AlgoName identifies RCS snapshots in the CSNP container.
+const AlgoName = "rcs"
+
+// Interface compliance: RCS is a sketch.Sketch.
+var _ sketch.Sketch = (*Sketch)(nil)
+
+// EncodeState appends the sketch's complete post-flush state — configuration,
+// loss-front-end accounting, and the SRAM counter array — to a snapshot
+// payload.
+func (s *Sketch) EncodeState(e *sketch.Encoder) {
+	if !s.flushed {
+		panic("rcs: EncodeState before Flush; snapshots are end-of-epoch artifacts")
+	}
+	e.Section("conf", func(e *sketch.Encoder) {
+		e.Int(s.cfg.K)
+		e.Int(s.cfg.L)
+		e.Int(s.cfg.CounterBits)
+		e.U64(s.cfg.Seed)
+		e.F64(s.cfg.LossRate)
+	})
+	e.Section("mass", func(e *sketch.Encoder) {
+		e.U64(s.recorded)
+		e.U64(s.dropped)
+	})
+	e.Section("sram", s.sram.EncodeState)
+}
+
+// DecodeSketchState rebuilds a flushed sketch from state written by
+// EncodeState.
+func DecodeSketchState(d *sketch.Decoder) (*Sketch, error) {
+	var cfg Config
+	d.Section("conf", func(d *sketch.Decoder) {
+		cfg.K = d.Int()
+		cfg.L = d.Int()
+		cfg.CounterBits = d.Int()
+		cfg.Seed = d.U64()
+		cfg.LossRate = d.F64()
+	})
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rcs: snapshot configuration rejected: %w", err)
+	}
+	d.Section("mass", func(d *sketch.Decoder) {
+		s.recorded = d.U64()
+		s.dropped = d.U64()
+	})
+	var arr *counters.Array
+	var arrErr error
+	d.Section("sram", func(d *sketch.Decoder) { arr, arrErr = counters.DecodeArrayState(d) })
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if arrErr != nil {
+		return nil, arrErr
+	}
+	if arr.Len() != s.cfg.L || arr.Bits() != s.cfg.CounterBits {
+		return nil, fmt.Errorf("rcs: snapshot SRAM %dx%d does not match configuration %dx%d",
+			arr.Len(), arr.Bits(), s.cfg.L, s.cfg.CounterBits)
+	}
+	// Mass conservation: without saturation every recorded packet is exactly
+	// one counter unit. (Skipped for 63/64-bit counters, where the sum itself
+	// could wrap.)
+	if arr.Saturations() == 0 && s.cfg.CounterBits < 63 {
+		if mass := arr.Sum(); mass != s.recorded {
+			return nil, fmt.Errorf("rcs: snapshot counters hold %d units but %d packets recorded", mass, s.recorded)
+		}
+	}
+	s.sram = arr
+	s.flushed = true
+	return s, nil
+}
+
+// WriteTo serializes the sketch in the CSNP snapshot format, ending the
+// online phase first. It implements io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	s.Flush()
+	var e sketch.Encoder
+	s.EncodeState(&e)
+	return sketch.WriteSnapshot(w, AlgoName, e.Bytes())
+}
+
+// ReadFrom replaces the sketch with the state read from a CSNP snapshot.
+// It implements io.ReaderFrom; on error the receiver is left unchanged.
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	ns, n, err := ReadSketch(r)
+	if err != nil {
+		return n, err
+	}
+	*s = *ns
+	return n, nil
+}
+
+// ReadSketch reads an RCS snapshot into a fresh sketch.
+func ReadSketch(r io.Reader) (*Sketch, int64, error) {
+	payload, n, err := sketch.ReadSnapshot(r, AlgoName)
+	if err != nil {
+		return nil, n, err
+	}
+	s, err := DecodeSketchState(sketch.NewDecoder(payload))
+	return s, n, err
+}

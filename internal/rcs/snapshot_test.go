@@ -1,0 +1,118 @@
+package rcs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func buildLossySketch(t *testing.T) *Sketch {
+	t.Helper()
+	s, err := New(Config{K: 3, L: 256, CounterBits: 24, Seed: 11, LossRate: 2.0 / 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := hashing.NewPRNG(3)
+	for i := 0; i < 15000; i++ {
+		s.Observe(hashing.FlowID(rng.Intn(800)))
+	}
+	return s
+}
+
+func TestSnapshotRoundTripBitExact(t *testing.T) {
+	s := buildLossySketch(t)
+
+	var buf bytes.Buffer
+	wn, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	var r Sketch
+	rn, err := r.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if rn != wn {
+		t.Fatalf("ReadFrom consumed %d bytes, snapshot is %d", rn, wn)
+	}
+
+	if r.Recorded() != s.Recorded() || r.Dropped() != s.Dropped() {
+		t.Errorf("accounting: got (%d, %d), want (%d, %d)",
+			r.Recorded(), r.Dropped(), s.Recorded(), s.Dropped())
+	}
+	se, re := s.Estimator(), r.Estimator()
+	for f := hashing.FlowID(0); f < 900; f++ {
+		if a, b := se.CSM(f), re.CSM(f); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("flow %d: CSM %v != %v", f, a, b)
+		}
+		if a, b := s.Estimate(f), r.Estimate(f); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("flow %d: Estimate %v != %v", f, a, b)
+		}
+	}
+	// MLM runs an iterative search, but it is deterministic in the counter
+	// values, so it round-trips bit-exactly too.
+	for f := hashing.FlowID(0); f < 50; f++ {
+		if a, b := se.MLM(f), re.MLM(f); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("flow %d: MLM %v != %v", f, a, b)
+		}
+	}
+}
+
+func TestSnapshotLoadedSketchIsQueryOnly(t *testing.T) {
+	s := buildLossySketch(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	r, _, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatalf("ReadSketch: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe on a loaded snapshot should panic: online phase is over")
+		}
+	}()
+	r.Observe(1)
+}
+
+func TestSnapshotMassConservationChecked(t *testing.T) {
+	s, err := New(Config{K: 2, L: 64, Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Observe(hashing.FlowID(i % 20))
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	// A lossless snapshot whose recorded count disagrees with the counter sum
+	// has been tampered with (or mixed across epochs); flipping one payload
+	// byte is caught by the checksum, so rebuild a payload with a wrong
+	// "mass" section instead.
+	s.recorded++
+	var buf2 bytes.Buffer
+	if _, err := s.WriteTo(&buf2); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, _, err := ReadSketch(&buf2); err == nil {
+		t.Fatal("decode accepted counters inconsistent with the recorded-packet count")
+	}
+}
+
+func TestFlushFreezesOnlinePhase(t *testing.T) {
+	s := buildLossySketch(t)
+	s.Flush()
+	s.Flush() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Flush should panic")
+		}
+	}()
+	s.Observe(1)
+}

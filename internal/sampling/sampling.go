@@ -65,8 +65,17 @@ func New(cfg Config) (*Sketch, error) {
 // Config returns the configuration.
 func (s *Sketch) Config() Config { return s.cfg }
 
-// Observe processes one packet; it reports whether the packet was sampled.
-func (s *Sketch) Observe(flow hashing.FlowID) bool {
+// Observe processes one packet (the sketch.Ingester hot path). Use
+// ObserveSampled to learn whether the packet was kept.
+func (s *Sketch) Observe(flow hashing.FlowID) { s.ObserveSampled(flow) }
+
+// Flush is a no-op: the sampler's flow table is always queryable. It exists
+// so the sketch satisfies the module-wide sketch.Ingester contract and can
+// be driven by the shared experiment runner.
+func (s *Sketch) Flush() {}
+
+// ObserveSampled processes one packet and reports whether it was sampled.
+func (s *Sketch) ObserveSampled(flow hashing.FlowID) bool {
 	if s.cfg.Rate < 1 && s.rng.Float64() >= s.cfg.Rate {
 		s.skipped++
 		return false

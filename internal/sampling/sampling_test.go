@@ -24,7 +24,7 @@ func TestFullRateIsExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1000; i++ {
-		if !s.Observe(7) {
+		if !s.ObserveSampled(7) {
 			t.Fatal("rate-1 sampler skipped a packet")
 		}
 	}

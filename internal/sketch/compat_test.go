@@ -1,0 +1,179 @@
+package sketch_test
+
+// Golden-file compatibility test for the CSNP snapshot format. Each fixture
+// in testdata/ is a committed snapshot of a deterministically built sketch;
+// the test asserts (a) today's writer reproduces the fixture byte for byte,
+// and (b) today's reader loads the fixture and answers queries bit-identically
+// to a freshly built sketch. Either half failing means the wire format
+// changed: bump sketch.Version and keep a decoder for the old one, don't
+// regenerate fixtures to paper over an accidental break.
+//
+// Regenerate (after an intentional, version-bumped format change) with:
+//
+//	go test ./internal/sketch -run TestSnapshotGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/cache"
+	"github.com/caesar-sketch/caesar/internal/caseest"
+	"github.com/caesar-sketch/caesar/internal/core"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/rcs"
+	"github.com/caesar-sketch/caesar/internal/vhc"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot fixtures")
+
+// estimator narrows a loaded sketch to the one query the compat check needs.
+type estimator interface {
+	Estimate(flow hashing.FlowID) float64
+}
+
+// goldenCase builds one algorithm's deterministic sketch and knows how to
+// load its snapshot back.
+type goldenCase struct {
+	name  string
+	build func(t *testing.T) io.WriterTo
+	load  func(r io.Reader) (estimator, error)
+}
+
+// observeStream feeds the shared deterministic packet stream: a small
+// Zipf-ish head of heavy flows over a long tail, identical across runs.
+func observeStream(observe func(hashing.FlowID)) {
+	for i := 0; i < 20000; i++ {
+		observe(hashing.FlowID(i % 500))
+		if i%3 == 0 {
+			observe(hashing.FlowID(i % 25))
+		}
+	}
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name: "caesar",
+			build: func(t *testing.T) io.WriterTo {
+				s, err := core.New(core.Config{
+					K: 3, L: 512, CounterBits: 20,
+					CacheEntries: 64, CacheCapacity: 8,
+					Policy: cache.LRU, Seed: 42,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				observeStream(s.Observe)
+				return s
+			},
+			load: func(r io.Reader) (estimator, error) {
+				s, _, err := core.ReadSketch(r)
+				return s, err
+			},
+		},
+		{
+			name: "rcs",
+			build: func(t *testing.T) io.WriterTo {
+				s, err := rcs.New(rcs.Config{K: 3, L: 256, CounterBits: 24, Seed: 11, LossRate: 0.25})
+				if err != nil {
+					t.Fatal(err)
+				}
+				observeStream(s.Observe)
+				return s
+			},
+			load: func(r io.Reader) (estimator, error) {
+				s, _, err := rcs.ReadSketch(r)
+				return s, err
+			},
+		},
+		{
+			name: "case",
+			build: func(t *testing.T) io.WriterTo {
+				s, err := caseest.New(caseest.Config{
+					L: 300, CounterBits: 16, MaxFlowSize: 1e6,
+					CacheEntries: 32, CacheCapacity: 8,
+					Policy: cache.LRU, Seed: 7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				observeStream(s.Observe)
+				return s
+			},
+			load: func(r io.Reader) (estimator, error) {
+				s, _, err := caseest.ReadSketch(r)
+				return s, err
+			},
+		},
+		{
+			name: "vhc",
+			build: func(t *testing.T) io.WriterTo {
+				s, err := vhc.New(vhc.Config{Registers: 2048, S: 8, Seed: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				observeStream(s.Observe)
+				return s
+			},
+			load: func(r io.Reader) (estimator, error) {
+				s, _, err := vhc.ReadSketch(r)
+				return s, err
+			},
+		},
+	}
+}
+
+func TestSnapshotGoldenCompat(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.name+".csnp")
+			s := tc.build(t)
+			var buf bytes.Buffer
+			if _, err := s.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+
+			golden, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the fixture)", err)
+			}
+
+			// Writer compatibility: today's encoder must emit the committed
+			// bytes exactly — section order, lengths, checksum, all of it.
+			if !bytes.Equal(buf.Bytes(), golden) {
+				t.Errorf("writer output diverged from golden fixture %s: got %d bytes, fixture %d bytes; the CSNP wire format changed",
+					path, buf.Len(), len(golden))
+			}
+
+			// Reader compatibility: the committed bytes must load and answer
+			// queries bit-identically to the live sketch.
+			loaded, err := tc.load(bytes.NewReader(golden))
+			if err != nil {
+				t.Fatalf("reading golden fixture: %v", err)
+			}
+			live, err := tc.load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("reading fresh snapshot: %v", err)
+			}
+			for f := hashing.FlowID(0); f < 600; f++ {
+				a, b := live.Estimate(f), loaded.Estimate(f)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("flow %d: live estimate %v != golden-loaded estimate %v", f, a, b)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Package sketch defines the common contract every measurement algorithm in
+// this repository implements, plus the versioned binary snapshot format that
+// lets the paper's two phases run in two different processes.
+//
+// The paper's architecture is explicitly two-phase: an online construction
+// phase on the measurement device and an offline query phase "at the end of
+// each measurement epoch" (Section 3.2). Before this package existed, a
+// sketch could only be queried inside the process that built it. A Sketch
+// now serializes its complete query-phase state with WriteTo and a fresh
+// instance restores it with ReadFrom, so counters can be dumped off the
+// device and analyzed elsewhere — exactly how RCS (Li et al., INFOCOM'11)
+// and CASE (INFOCOM'16) are deployed.
+//
+// # Lifecycle
+//
+// Observe ingests one packet (construction phase). Flush ends the epoch,
+// dumping any buffered per-flow state downstream; it is idempotent, and
+// Observe after Flush panics (a programming error: the construction phase
+// is over). Estimate answers per-flow size queries with the algorithm's
+// default method once the epoch has ended. WriteTo flushes first, then
+// writes a snapshot; ReadFrom replaces the receiver with the snapshot's
+// state, already flushed — a loaded sketch is a query-phase artifact and
+// cannot ingest further packets.
+//
+// Round-trip invariance is the format's contract: a loaded sketch returns
+// bit-identical estimates (and confidence intervals, where the algorithm
+// has them) to the instance that wrote the snapshot. The golden-file tests
+// in this package enforce it so accidental format breaks fail CI.
+package sketch
+
+import (
+	"io"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Ingester is the construction-phase half of the contract: the packet hot
+// path plus the end-of-epoch flush. Schemes that cannot snapshot themselves
+// (packet sampling, Counter Braids) still implement this half, so generic
+// drive loops work over every algorithm in the repository.
+type Ingester interface {
+	// Observe records one packet of the given flow.
+	Observe(flow hashing.FlowID)
+	// Flush ends the construction phase, dumping buffered state downstream.
+	// Idempotent; Observe after Flush panics.
+	Flush()
+}
+
+// Estimator is the query-phase half: per-flow size estimation with the
+// algorithm's default method. Algorithms with several methods (CAESAR's
+// CSM/MLM) expose the rest through their own richer query types.
+type Estimator interface {
+	// Estimate returns the flow's estimated size. Estimates may be negative
+	// for flows drowned in sharing noise; clamp at zero if a point size is
+	// all you need.
+	Estimate(flow hashing.FlowID) float64
+}
+
+// Sketch is the full contract: construction, query, and the versioned
+// snapshot round trip. WriteTo returns the bytes written; ReadFrom returns
+// the bytes consumed and never panics on corrupt input — it returns an
+// error instead, leaving the receiver unspecified.
+type Sketch interface {
+	Ingester
+	Estimator
+	io.WriterTo
+	io.ReaderFrom
+}

@@ -1,0 +1,105 @@
+package vhc
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/caesar-sketch/caesar/internal/sketch"
+)
+
+// AlgoName identifies VHC snapshots in the CSNP container.
+const AlgoName = "vhc"
+
+// Interface compliance: VHC is a sketch.Sketch.
+var _ sketch.Sketch = (*Sketch)(nil)
+
+// EncodeState appends the sketch's complete post-flush state — configuration,
+// accounting, and the physical register array — to a snapshot payload.
+func (s *Sketch) EncodeState(e *sketch.Encoder) {
+	if !s.flushed {
+		panic("vhc: EncodeState before Flush; snapshots are end-of-epoch artifacts")
+	}
+	e.Section("conf", func(e *sketch.Encoder) {
+		e.Int(s.cfg.Registers)
+		e.Int(s.cfg.RegisterBits)
+		e.Int(s.cfg.S)
+		e.U64(s.cfg.Seed)
+	})
+	e.Section("stat", func(e *sketch.Encoder) {
+		e.U64(s.packets)
+		e.Int(s.sat)
+	})
+	e.Section("regs", func(e *sketch.Encoder) { e.U8s(s.regs) })
+}
+
+// DecodeSketchState rebuilds a flushed sketch from state written by
+// EncodeState. The epoch noise total is recomputed from the registers, which
+// reproduces the writer's value bit-exactly (same registers, same float
+// summation order).
+func DecodeSketchState(d *sketch.Decoder) (*Sketch, error) {
+	var cfg Config
+	d.Section("conf", func(d *sketch.Decoder) {
+		cfg.Registers = d.Int()
+		cfg.RegisterBits = d.Int()
+		cfg.S = d.Int()
+		cfg.Seed = d.U64()
+	})
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("vhc: snapshot configuration rejected: %w", err)
+	}
+	d.Section("stat", func(d *sketch.Decoder) {
+		s.packets = d.U64()
+		s.sat = d.Int()
+	})
+	var regs []uint8
+	d.Section("regs", func(d *sketch.Decoder) { regs = d.U8s() })
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(regs) != s.cfg.Registers {
+		return nil, fmt.Errorf("vhc: snapshot carries %d registers, configuration says %d", len(regs), s.cfg.Registers)
+	}
+	maxV := uint8(1)<<s.cfg.RegisterBits - 1
+	for i, v := range regs {
+		if v > maxV {
+			return nil, fmt.Errorf("vhc: snapshot register %d holds %d, above the %d-bit cap", i, v, s.cfg.RegisterBits)
+		}
+	}
+	copy(s.regs, regs)
+	s.Flush()
+	return s, nil
+}
+
+// WriteTo serializes the sketch in the CSNP snapshot format, ending the
+// online phase first. It implements io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	s.Flush()
+	var e sketch.Encoder
+	s.EncodeState(&e)
+	return sketch.WriteSnapshot(w, AlgoName, e.Bytes())
+}
+
+// ReadFrom replaces the sketch with the state read from a CSNP snapshot.
+// It implements io.ReaderFrom; on error the receiver is left unchanged.
+func (s *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	ns, n, err := ReadSketch(r)
+	if err != nil {
+		return n, err
+	}
+	*s = *ns
+	return n, nil
+}
+
+// ReadSketch reads a VHC snapshot into a fresh sketch.
+func ReadSketch(r io.Reader) (*Sketch, int64, error) {
+	payload, n, err := sketch.ReadSnapshot(r, AlgoName)
+	if err != nil {
+		return nil, n, err
+	}
+	s, err := DecodeSketchState(sketch.NewDecoder(payload))
+	return s, n, err
+}

@@ -1,0 +1,113 @@
+package vhc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func buildLoadedSketch(t *testing.T) *Sketch {
+	t.Helper()
+	s, err := New(Config{Registers: 4096, RegisterBits: 5, S: 8, Seed: 31})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := hashing.NewPRNG(17)
+	for i := 0; i < 40000; i++ {
+		s.Observe(hashing.FlowID(rng.Intn(3000)))
+	}
+	return s
+}
+
+func TestSnapshotRoundTripBitExact(t *testing.T) {
+	s := buildLoadedSketch(t)
+
+	var buf bytes.Buffer
+	wn, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+
+	var r Sketch
+	rn, err := r.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if rn != wn {
+		t.Fatalf("ReadFrom consumed %d bytes, snapshot is %d", rn, wn)
+	}
+
+	if r.NumPackets() != s.NumPackets() {
+		t.Errorf("NumPackets: got %d, want %d", r.NumPackets(), s.NumPackets())
+	}
+	if r.Saturations() != s.Saturations() {
+		t.Errorf("Saturations: got %d, want %d", r.Saturations(), s.Saturations())
+	}
+	if a, b := s.TotalDecoded(), r.TotalDecoded(); math.Float64bits(a) != math.Float64bits(b) {
+		t.Errorf("TotalDecoded: %v != %v", a, b)
+	}
+	for f := hashing.FlowID(0); f < 3200; f++ {
+		if a, b := s.Estimate(f), r.Estimate(f); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("flow %d: Estimate %v != %v", f, a, b)
+		}
+	}
+	flows := make([]hashing.FlowID, 256)
+	for i := range flows {
+		flows[i] = hashing.FlowID(i)
+	}
+	sm, rm := s.EstimateMany(flows), r.EstimateMany(flows)
+	for i := range sm {
+		if math.Float64bits(sm[i]) != math.Float64bits(rm[i]) {
+			t.Fatalf("EstimateMany[%d]: %v != %v", i, sm[i], rm[i])
+		}
+	}
+}
+
+func TestSnapshotLoadedSketchIsQueryOnly(t *testing.T) {
+	s := buildLoadedSketch(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	r, _, err := ReadSketch(&buf)
+	if err != nil {
+		t.Fatalf("ReadSketch: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe on a loaded snapshot should panic")
+		}
+	}()
+	r.Observe(1)
+}
+
+func TestSnapshotRejectsOverCapRegister(t *testing.T) {
+	s := buildLoadedSketch(t)
+	s.regs[7] = 40 // above the 5-bit cap of 31
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, _, err := ReadSketch(&buf); err == nil {
+		t.Fatal("decode accepted a register value above the width cap")
+	}
+}
+
+func TestFlushCachesNoiseTerm(t *testing.T) {
+	s := buildLoadedSketch(t)
+	before := s.Estimate(5)
+	s.Flush()
+	s.Flush() // idempotent
+	after := s.Estimate(5)
+	if math.Float64bits(before) != math.Float64bits(after) {
+		t.Errorf("flush changed the estimate: %v -> %v", before, after)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Observe after Flush should panic")
+		}
+	}()
+	s.Observe(1)
+}

@@ -67,6 +67,11 @@ type Sketch struct {
 	idxBuf  []uint32
 	packets uint64
 	sat     int
+	flushed bool
+	// total caches TotalDecoded once the sketch is flushed: the registers can
+	// no longer change, so the noise term is computed once per epoch instead
+	// of once per Estimate call.
+	total float64
 }
 
 // New builds a sketch from cfg.
@@ -102,6 +107,9 @@ func (s *Sketch) MemoryKB() float64 {
 // One ~5-bit register access per packet — the "slightly more than 1 memory
 // access per packet" property Section 2.1 quotes.
 func (s *Sketch) Observe(flow hashing.FlowID) {
+	if s.flushed {
+		panic("vhc: Observe after Flush; online phase is over")
+	}
 	s.packets++
 	s.idxBuf = s.sel.Select(flow, s.idxBuf[:0])
 	r := s.idxBuf[s.rng.Intn(s.cfg.S)]
@@ -115,6 +123,17 @@ func (s *Sketch) Observe(flow hashing.FlowID) {
 	if v == 0 || s.rng.Next()&(1<<v-1) == 0 {
 		s.regs[r] = v + 1
 	}
+}
+
+// Flush ends the online phase. VHC has no cache to drain; the call freezes
+// the registers (Observe panics afterwards) and caches the TotalDecoded
+// noise term for the query phase, per the module-wide lifecycle contract.
+func (s *Sketch) Flush() {
+	if s.flushed {
+		return
+	}
+	s.flushed = true
+	s.total = s.TotalDecoded()
 }
 
 // decodeRegister returns the unbiased Morris estimate of the hits a
@@ -133,6 +152,15 @@ func (s *Sketch) TotalDecoded() float64 {
 	return sum
 }
 
+// totalForNoise returns the cached epoch total after Flush, or a fresh
+// decode pass while the sketch is still accepting packets.
+func (s *Sketch) totalForNoise() float64 {
+	if s.flushed {
+		return s.total
+	}
+	return s.TotalDecoded()
+}
+
 // Estimate recovers the flow's size: the decoded sum of its s virtual
 // registers minus the expected sharing noise s·n̂/m, the same counter-sum
 // shape as RCS and CAESAR.
@@ -142,13 +170,13 @@ func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
 	for _, r := range s.idxBuf {
 		sum += decodeRegister(s.regs[r])
 	}
-	noise := float64(s.cfg.S) * s.TotalDecoded() / float64(s.cfg.Registers)
+	noise := float64(s.cfg.S) * s.totalForNoise() / float64(s.cfg.Registers)
 	return sum - noise
 }
 
 // EstimateMany amortizes the TotalDecoded pass over a batch of queries.
 func (s *Sketch) EstimateMany(flows []hashing.FlowID) []float64 {
-	noisePer := s.TotalDecoded() / float64(s.cfg.Registers)
+	noisePer := s.totalForNoise() / float64(s.cfg.Registers)
 	out := make([]float64, len(flows))
 	for i, f := range flows {
 		s.idxBuf = s.sel.Select(f, s.idxBuf[:0])

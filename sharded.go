@@ -15,8 +15,11 @@ import (
 // nothing, so ingest scales with cores while every per-flow guarantee of a
 // single sketch still holds within its shard.
 //
-// The total memory budget in Config is divided evenly among shards (each
-// shard gets Counters/n counters and CacheEntries/n cache entries).
+// The total memory budget in Config is divided among shards: every shard
+// gets Counters/n counters and CacheEntries/n cache entries, and the
+// division remainders are spread one-per-shard across the first shards, so
+// the whole configured budget is used (per-shard totals sum exactly to the
+// configured Counters and CacheEntries).
 //
 // Observe may be called from multiple goroutines concurrently; each packet
 // is routed and enqueued to its shard's worker. Call Close to drain the
@@ -49,10 +52,9 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("caesar: shard count must be >= 1, got %d", n)
 	}
-	per := cfg
-	per.Counters = cfg.Counters / n
-	per.CacheEntries = cfg.CacheEntries / n
-	if per.Counters < 1 || per.CacheEntries < 1 {
+	counterBase, counterRem := cfg.Counters/n, cfg.Counters%n
+	entryBase, entryRem := cfg.CacheEntries/n, cfg.CacheEntries%n
+	if counterBase < 1 || entryBase < 1 {
 		return nil, fmt.Errorf("caesar: budget too small for %d shards (counters=%d cacheEntries=%d)",
 			n, cfg.Counters, cfg.CacheEntries)
 	}
@@ -62,6 +64,17 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 		batches: make([]shardBatch, n),
 	}
 	for i := range s.shards {
+		// Spread the division remainders across the first shards so no part
+		// of the configured budget is silently dropped.
+		per := cfg
+		per.Counters = counterBase
+		if i < counterRem {
+			per.Counters++
+		}
+		per.CacheEntries = entryBase
+		if i < entryRem {
+			per.CacheEntries++
+		}
 		per.Seed = cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
 		sk, err := New(per)
 		if err != nil {

@@ -1,0 +1,194 @@
+package caesar
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/caesar-sketch/caesar/internal/core"
+	"github.com/caesar-sketch/caesar/internal/sketch"
+)
+
+// This file implements checkpoint/restore for the public API, layered on
+// the CSNP snapshot container (docs/SNAPSHOT.md). Snapshots realize the
+// paper's two-phase architecture as two processes: a construction process
+// observes traffic and writes its end-of-epoch state; a query process loads
+// it — anywhere, any time later — and computes bit-identical estimates and
+// confidence intervals.
+
+// shardedAlgoName identifies multi-shard snapshots in the CSNP container.
+const shardedAlgoName = "caesar-sharded"
+
+// windowAlgoName identifies sliding-window snapshots in the CSNP container.
+const windowAlgoName = "caesar-window"
+
+// WriteTo serializes the sketch's complete end-of-epoch state, flushing the
+// construction phase first. It implements io.WriterTo; load the snapshot
+// with ReadSketch (or Sketch.ReadFrom) for estimates bit-identical to this
+// sketch's.
+func (sk *Sketch) WriteTo(w io.Writer) (int64, error) {
+	return sk.s.WriteTo(w)
+}
+
+// ReadFrom replaces the sketch with the state read from a snapshot written
+// by WriteTo. It implements io.ReaderFrom; on error the receiver is left
+// unchanged. The loaded sketch is in its query phase: Observe panics.
+func (sk *Sketch) ReadFrom(r io.Reader) (int64, error) {
+	ns, n, err := core.ReadSketch(r)
+	if err != nil {
+		return n, err
+	}
+	sk.s = ns
+	return n, nil
+}
+
+// ReadSketch loads a snapshot written by Sketch.WriteTo into a fresh sketch.
+func ReadSketch(r io.Reader) (*Sketch, error) {
+	s, _, err := core.ReadSketch(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{s: s}, nil
+}
+
+// Estimate returns the flow's estimated size by the paper's default query
+// method (CSM), flushing the construction phase first if needed. Use
+// Estimator for MLM or confidence intervals.
+func (sk *Sketch) Estimate(flow FlowID) float64 { return sk.s.Estimate(flow) }
+
+// Snapshot serializes every shard's end-of-epoch state into one snapshot.
+// The Sharded must be closed first: snapshotting while workers are still
+// draining would capture a torn state. Load with ReadShardedSnapshot.
+func (s *Sharded) Snapshot(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		return 0, fmt.Errorf("caesar: Snapshot before Close; call Close to drain ingestion first")
+	}
+	var e sketch.Encoder
+	e.Section("conf", func(e *sketch.Encoder) { e.Int(len(s.shards)) })
+	for _, sk := range s.shards {
+		e.Section("shrd", sk.s.EncodeState)
+	}
+	return sketch.WriteSnapshot(w, shardedAlgoName, e.Bytes())
+}
+
+// ReadShardedSnapshot loads a snapshot written by Sharded.Snapshot. The
+// result is query-only: it accepts Estimator, Stats, and NumPackets calls
+// and routes flows to shards exactly as the writer did, but Observe panics
+// and Close is a no-op.
+func ReadShardedSnapshot(r io.Reader) (*Sharded, error) {
+	payload, _, err := sketch.ReadSnapshot(r, shardedAlgoName)
+	if err != nil {
+		return nil, err
+	}
+	d := sketch.NewDecoder(payload)
+	var n int
+	d.Section("conf", func(d *sketch.Decoder) { n = d.Int() })
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > 1<<20 {
+		return nil, fmt.Errorf("caesar: implausible snapshot shard count %d", n)
+	}
+	s := &Sharded{shards: make([]*Sketch, n), closed: true}
+	for i := range s.shards {
+		var cs *core.Sketch
+		var shardErr error
+		d.Section("shrd", func(d *sketch.Decoder) { cs, shardErr = core.DecodeSketchState(d) })
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if shardErr != nil {
+			return nil, fmt.Errorf("caesar: shard %d: %w", i, shardErr)
+		}
+		s.shards[i] = &Sketch{s: cs}
+	}
+	return s, nil
+}
+
+// WriteTo serializes the window's sealed epochs. The current, still-
+// ingesting epoch is NOT included — exactly mirroring queries, which cover
+// sealed epochs only; call Rotate first to fold it in. It implements
+// io.WriterTo; load with ReadWindow.
+func (w *Window) WriteTo(dst io.Writer) (int64, error) {
+	var e sketch.Encoder
+	e.Section("conf", func(e *sketch.Encoder) {
+		e.Int(w.cfg.K)
+		e.Int(w.cfg.Counters)
+		e.Int(w.cfg.CounterBits)
+		e.Int(w.cfg.CacheEntries)
+		e.U64(w.cfg.CacheCapacity)
+		e.U8(uint8(w.cfg.Policy))
+		e.U64(w.cfg.Seed)
+	})
+	e.Section("wind", func(e *sketch.Encoder) {
+		e.Int(w.epochs)
+		e.Int(w.rotations)
+		e.Int(len(w.sealed))
+	})
+	for _, est := range w.sealed {
+		e.Section("epok", est.e.EncodeEstimatorState)
+	}
+	return sketch.WriteSnapshot(dst, windowAlgoName, e.Bytes())
+}
+
+// ReadWindow loads a snapshot written by Window.WriteTo. The sealed epochs
+// answer queries bit-identically to the writer's; a fresh (empty) current
+// epoch is started, so the window can keep measuring from where the
+// snapshot left off.
+func ReadWindow(r io.Reader) (*Window, error) {
+	payload, _, err := sketch.ReadSnapshot(r, windowAlgoName)
+	if err != nil {
+		return nil, err
+	}
+	d := sketch.NewDecoder(payload)
+	var cfg Config
+	d.Section("conf", func(d *sketch.Decoder) {
+		cfg.K = d.Int()
+		cfg.Counters = d.Int()
+		cfg.CounterBits = d.Int()
+		cfg.CacheEntries = d.Int()
+		cfg.CacheCapacity = d.U64()
+		cfg.Policy = Policy(d.U8())
+		cfg.Seed = d.U64()
+	})
+	var epochs, rotations, nSealed int
+	d.Section("wind", func(d *sketch.Decoder) {
+		epochs = d.Int()
+		rotations = d.Int()
+		nSealed = d.Int()
+	})
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy != LRU && cfg.Policy != Random {
+		return nil, fmt.Errorf("caesar: snapshot has unknown policy %d", cfg.Policy)
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("caesar: snapshot window needs >= 1 epoch, got %d", epochs)
+	}
+	if nSealed < 0 || nSealed > epochs {
+		return nil, fmt.Errorf("caesar: snapshot carries %d sealed epochs for a %d-epoch window", nSealed, epochs)
+	}
+	if rotations < nSealed {
+		return nil, fmt.Errorf("caesar: snapshot rotations %d below sealed epoch count %d", rotations, nSealed)
+	}
+	w := &Window{cfg: cfg, epochs: epochs, rotations: rotations}
+	for i := 0; i < nSealed; i++ {
+		var ce *core.Estimator
+		var epochErr error
+		d.Section("epok", func(d *sketch.Decoder) { ce, epochErr = core.DecodeEstimatorState(d) })
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if epochErr != nil {
+			return nil, fmt.Errorf("caesar: sealed epoch %d: %w", i, epochErr)
+		}
+		w.sealed = append(w.sealed, &Estimator{e: ce})
+	}
+	if err := w.startEpoch(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
