@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz-smoke snapshot-compat ci
+.PHONY: build test race vet lint fuzz-smoke snapshot-compat bench-json bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +35,17 @@ fuzz-smoke:
 snapshot-compat:
 	$(GO) test -run=TestSnapshotGoldenCompat -count=1 ./internal/sketch
 
-ci: build vet test race lint fuzz-smoke snapshot-compat
+# Regenerates the committed perf trajectory (ns/op, allocs/op, shard
+# scaling, batch-size sweep) with 5 repetitions per benchmark. Commit the
+# refreshed BENCH_PR3.json when the ingest path changes intentionally.
+bench-json:
+	$(GO) run ./cmd/caesar-bench -perf -perf-out BENCH_PR3.json -perf-count 5
+
+# Fast perf gate for CI: the hit-path benchmark must not allocate (the
+# deterministic gate is TestSketchObserveZeroAllocs; the bench run also
+# surfaces the ns/op trend in the job log).
+bench-smoke:
+	$(GO) test -run=TestSketchObserveZeroAllocs -count=1 .
+	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
+
+ci: build vet test race lint fuzz-smoke snapshot-compat bench-smoke

@@ -146,6 +146,11 @@ func (sk *Sketch) Observe(flow FlowID) { sk.s.Observe(flow) }
 // ObservePacket parses a 5-tuple and records one packet of its flow.
 func (sk *Sketch) ObservePacket(t FiveTuple) { sk.s.ObservePacket(t) }
 
+// ObserveBatch records one packet for each flow in the batch, in order. It
+// is equivalent to calling Observe in a loop but amortizes the per-call
+// overhead, which matters at line rate.
+func (sk *Sketch) ObserveBatch(flows []FlowID) { sk.s.ObserveBatch(flows) }
+
 // Add accounts an arbitrary number of units (e.g. a packet's bytes, for
 // flow-volume measurement) to the flow in one shot. When counting bytes,
 // set CacheCapacity in bytes too — the paper notes size and volume share

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	caesar-bench [-scale small|medium|paper] [-seed N] [-run id[,id...]] [-list] [-json]
+//	caesar-bench -perf [-perf-out BENCH_PR3.json] [-perf-count 5]
 //
 // Experiment ids follow the DESIGN.md index (fig3..fig8, tbl-*, abl-*);
 // -list prints them all, -run all (default) runs everything in order, and
 // -json emits one JSON object per experiment for machine consumption.
+// -perf instead runs the ingest-path micro-benchmarks (see perf.go) and
+// writes the machine-readable perf report committed as BENCH_PR3.json.
 package main
 
 import (
@@ -29,8 +32,16 @@ func main() {
 		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+		perf      = flag.Bool("perf", false, "run the ingest-path micro-benchmarks and write a perf report instead of experiments")
+		perfOut   = flag.String("perf-out", "BENCH_PR3.json", "perf report output path (with -perf)")
+		perfCount = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf)")
 	)
 	flag.Parse()
+
+	if *perf {
+		runPerf(*perfOut, *perfCount)
+		return
+	}
 
 	if *list {
 		for _, e := range expt.All() {

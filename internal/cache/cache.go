@@ -119,19 +119,38 @@ type slot struct {
 type Cache struct {
 	cfg   Config
 	slots []slot
-	index map[hashing.FlowID]int32
-	free  []int32
-	occ   []int32 // occupied slot ids, for O(1) random victim choice
-	head  int32   // most recently used
-	tail  int32   // least recently used
-	rng   *hashing.PRNG
-	stats Stats
+	// idx is an inline open-addressing hash index over the slot arena: a
+	// power-of-two table of slot ids (-1 = empty) probed linearly from a
+	// MixWithSeed home position. Sized at twice the entry count, its load
+	// factor never exceeds 1/2, so probe chains stay short; deletion is
+	// tombstone-free (backward-shift), so the table never degrades no
+	// matter how much churn the replacement policy generates.
+	idx     []int32
+	idxMask uint32
+	free    []int32
+	occ     []int32 // occupied slot ids, for O(1) random victim choice
+	head    int32   // most recently used
+	tail    int32   // least recently used
+	rng     *hashing.PRNG
+	stats   Stats
 }
+
+// indexSeed salts the index's home-position hash. It is a fixed constant —
+// the index is pure lookup machinery, so its layout affects no observable
+// behavior and need not vary with the sketch seed.
+const indexSeed = 0xcafe5eed
+
+// maxEntries bounds M so the doubled power-of-two index fits in an int32
+// slot-id space with room to spare.
+const maxEntries = 1 << 30
 
 // New builds a cache from cfg.
 func New(cfg Config) (*Cache, error) {
 	if cfg.Entries <= 0 {
 		return nil, fmt.Errorf("cache: Entries must be positive, got %d", cfg.Entries)
+	}
+	if cfg.Entries > maxEntries {
+		return nil, fmt.Errorf("cache: Entries must be <= %d, got %d", maxEntries, cfg.Entries)
 	}
 	if cfg.Capacity < 1 {
 		return nil, fmt.Errorf("cache: Capacity must be >= 1, got %d", cfg.Capacity)
@@ -142,20 +161,98 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.OnEvict == nil {
 		return nil, fmt.Errorf("cache: OnEvict must be non-nil")
 	}
+	tableSize := 1
+	for tableSize < 2*cfg.Entries {
+		tableSize <<= 1
+	}
 	c := &Cache{
-		cfg:   cfg,
-		slots: make([]slot, cfg.Entries),
-		index: make(map[hashing.FlowID]int32, cfg.Entries),
-		free:  make([]int32, 0, cfg.Entries),
-		occ:   make([]int32, 0, cfg.Entries),
-		head:  -1,
-		tail:  -1,
-		rng:   hashing.NewPRNG(cfg.Seed ^ 0x5ca1ab1e),
+		cfg:     cfg,
+		slots:   make([]slot, cfg.Entries),
+		idx:     make([]int32, tableSize),
+		idxMask: uint32(tableSize - 1),
+		free:    make([]int32, 0, cfg.Entries),
+		occ:     make([]int32, 0, cfg.Entries),
+		head:    -1,
+		tail:    -1,
+		rng:     hashing.NewPRNG(cfg.Seed ^ 0x5ca1ab1e),
+	}
+	for i := range c.idx {
+		c.idx[i] = -1
 	}
 	for i := cfg.Entries - 1; i >= 0; i-- {
 		c.free = append(c.free, int32(i))
 	}
 	return c, nil
+}
+
+// --- open-addressed slot index ----------------------------------------------
+
+// indexHome returns the flow's preferred table position.
+func (c *Cache) indexHome(flow hashing.FlowID) uint32 {
+	return uint32(hashing.MixWithSeed(uint64(flow), indexSeed)) & c.idxMask
+}
+
+// indexLookup returns the slot id holding flow, or -1.
+func (c *Cache) indexLookup(flow hashing.FlowID) int32 {
+	h := c.indexHome(flow)
+	for {
+		s := c.idx[h]
+		if s < 0 {
+			return -1
+		}
+		if c.slots[s].flow == flow {
+			return s
+		}
+		h = (h + 1) & c.idxMask
+	}
+}
+
+// indexInsert records that flow lives in slot s. The caller guarantees flow
+// is not already present; occupancy <= Entries <= tableSize/2 guarantees a
+// free cell exists.
+func (c *Cache) indexInsert(flow hashing.FlowID, s int32) {
+	h := c.indexHome(flow)
+	for c.idx[h] >= 0 {
+		h = (h + 1) & c.idxMask
+	}
+	c.idx[h] = s
+}
+
+// indexDelete removes flow from the table with backward-shift deletion:
+// instead of leaving a tombstone, every displaced entry of the probe chain
+// behind the hole is shifted back toward its home position, restoring the
+// invariant that a linear probe from any entry's home never crosses an
+// empty cell before reaching it.
+func (c *Cache) indexDelete(flow hashing.FlowID) {
+	h := c.indexHome(flow)
+	for {
+		s := c.idx[h]
+		if s < 0 {
+			return // absent; nothing to delete
+		}
+		if c.slots[s].flow == flow {
+			break
+		}
+		h = (h + 1) & c.idxMask
+	}
+	hole := h
+	pos := h
+	for {
+		pos = (pos + 1) & c.idxMask
+		s := c.idx[pos]
+		if s < 0 {
+			break
+		}
+		// The entry at pos may move into the hole only if its home does not
+		// lie in the cyclic interval (hole, pos] — i.e. it was displaced
+		// past the hole by the probe chain the deletion just broke.
+		home := c.indexHome(c.slots[s].flow)
+		if (pos-home)&c.idxMask >= (pos-hole)&c.idxMask {
+			c.idx[hole] = s
+			hole = pos
+		}
+	}
+	c.idx[hole] = -1
 }
 
 // Len returns the number of occupied entries.
@@ -172,8 +269,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Get reports the currently cached count for a flow.
 func (c *Cache) Get(flow hashing.FlowID) (uint64, bool) {
-	s, ok := c.index[flow]
-	if !ok {
+	s := c.indexLookup(flow)
+	if s < 0 {
 		return 0, false
 	}
 	return c.slots[s].count, true
@@ -191,8 +288,8 @@ func (c *Cache) Add(flow hashing.FlowID, v uint64) {
 		return
 	}
 	c.stats.Packets++
-	s, ok := c.index[flow]
-	if ok {
+	s := c.indexLookup(flow)
+	if s >= 0 {
 		c.stats.Hits++
 		c.touch(s)
 	} else {
@@ -201,12 +298,22 @@ func (c *Cache) Add(flow hashing.FlowID, v uint64) {
 	}
 	e := &c.slots[s]
 	e.count += v
-	for e.count >= c.cfg.Capacity {
-		// Overflow: evict a fulfilled value of y and keep counting in the
-		// same entry (the flow is clearly active).
-		c.emit(flow, c.cfg.Capacity, Overflow)
-		c.stats.OverflowEvictions++
-		e.count -= c.cfg.Capacity
+	if e.count >= c.cfg.Capacity {
+		// Overflow: evict fulfilled values of y and keep counting in the
+		// same entry (the flow is clearly active). The whole multiple-of-y
+		// mass is accounted in one pass — large volume-mode adds previously
+		// re-ran the compare/subtract/stats dance count/y times — while
+		// downstream still sees the exact same per-eviction value sequence
+		// (n calls of exactly y), which keeps every derived estimate and
+		// every RNG draw in the eviction handler bit-identical.
+		y := c.cfg.Capacity
+		n := e.count / y
+		e.count -= n * y
+		c.stats.OverflowEvictions += int(n)
+		c.stats.EvictedMass += n * y
+		for ; n > 0; n-- {
+			c.cfg.OnEvict(flow, y, Overflow)
+		}
 	}
 }
 
@@ -252,7 +359,7 @@ func (c *Cache) allocate(flow hashing.FlowID) int32 {
 	e.inUse = true
 	e.occPos = int32(len(c.occ))
 	c.occ = append(c.occ, s)
-	c.index[flow] = s
+	c.indexInsert(flow, s)
 	c.pushFront(s)
 	return s
 }
@@ -269,7 +376,7 @@ func (c *Cache) selectVictim() int32 {
 // release detaches slot s entirely and returns it to the free list.
 func (c *Cache) release(s int32) {
 	e := &c.slots[s]
-	delete(c.index, e.flow)
+	c.indexDelete(e.flow)
 	c.unlink(s)
 	// Swap-remove from the occupancy vector.
 	last := c.occ[len(c.occ)-1]

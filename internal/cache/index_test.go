@@ -1,0 +1,208 @@
+package cache
+
+// Tests for the inline open-addressing slot index and the coalesced
+// overflow pass in Add. The index replaced a Go map in the per-packet hot
+// path; these tests pin the two properties the swap must preserve: lookup
+// agrees with a trivially-correct shadow map under arbitrary churn
+// (backward-shift deletion keeps probe chains intact), and the eviction
+// sequence seen downstream is bit-identical for both the single-unit and
+// bulk-add paths.
+
+import (
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// TestOverflowEvictionSequencePinned pins the exact per-eviction value
+// sequence of the coalesced overflow pass: n = floor(mass/y) calls of
+// exactly y each, in order, for both the per-packet path and the bulk Add
+// path. The sequence is load-bearing — core's eviction handler draws from
+// a deterministic PRNG once per eviction, so a changed call granularity
+// would silently change every estimate.
+func TestOverflowEvictionSequencePinned(t *testing.T) {
+	const y = 10
+
+	single := &recorder{}
+	cs := newCache(t, 8, y, LRU, single)
+	for i := 0; i < 47; i++ { // 47 = 4*10 + 7
+		cs.Observe(3)
+	}
+
+	bulk := &recorder{}
+	cb := newCache(t, 8, y, LRU, bulk)
+	cb.Add(3, 47)
+
+	for name, rec := range map[string]*recorder{"single-unit": single, "bulk": bulk} {
+		if len(rec.events) != 4 {
+			t.Fatalf("%s: %d overflow events, want 4: %v", name, len(rec.events), rec.events)
+		}
+		for i, e := range rec.events {
+			if e.flow != 3 || e.value != y || e.reason != Overflow {
+				t.Fatalf("%s: event %d = %+v, want {3 %d Overflow}", name, i, e, y)
+			}
+		}
+	}
+	if v, _ := cs.Get(3); v != 7 {
+		t.Fatalf("single-unit remainder = %d, want 7", v)
+	}
+	if v, _ := cb.Get(3); v != 7 {
+		t.Fatalf("bulk remainder = %d, want 7", v)
+	}
+	// The coalesced pass must keep the observability counters in lockstep
+	// with the per-eviction emission it replaced.
+	for name, c := range map[string]*Cache{"single-unit": cs, "bulk": cb} {
+		st := c.Stats()
+		if st.OverflowEvictions != 4 || st.EvictedMass != 40 {
+			t.Fatalf("%s stats: %+v, want 4 overflow evictions of mass 40", name, st)
+		}
+	}
+}
+
+// TestBulkAddMatchesUnitAdds drives the same random mass schedule through a
+// bulk-add cache and a unit-add cache and requires identical eviction
+// sequences — the differential form of the pinned test. The two are
+// equivalent even under pressure: a bulk Add touches the LRU list once
+// where the unit loop touches it v times, but all v touches are
+// consecutive hits on the same flow, so the replacement order never
+// diverges.
+func TestBulkAddMatchesUnitAdds(t *testing.T) {
+	const (
+		entries = 16
+		y       = 7
+		flows   = 40
+		ops     = 4000
+	)
+	bulkRec, unitRec := &recorder{}, &recorder{}
+	bulk := newCache(t, entries, y, LRU, bulkRec)
+	unit := newCache(t, entries, y, LRU, unitRec)
+
+	rng := hashing.NewPRNG(21)
+	for i := 0; i < ops; i++ {
+		f := hashing.FlowID(rng.Intn(flows))
+		v := uint64(rng.Intn(40)) // exercises v=0, v<y, v>>y
+		bulk.Add(f, v)
+		for u := uint64(0); u < v; u++ {
+			unit.Observe(f)
+		}
+	}
+	bulk.Flush()
+	unit.Flush()
+
+	if len(bulkRec.events) != len(unitRec.events) {
+		t.Fatalf("eviction count %d (bulk) vs %d (unit)", len(bulkRec.events), len(unitRec.events))
+	}
+	for i := range bulkRec.events {
+		if bulkRec.events[i] != unitRec.events[i] {
+			t.Fatalf("eviction %d: %+v (bulk) vs %+v (unit)", i, bulkRec.events[i], unitRec.events[i])
+		}
+	}
+	bs, us := bulk.Stats(), unit.Stats()
+	if bs.OverflowEvictions != us.OverflowEvictions || bs.EvictedMass != us.EvictedMass ||
+		bs.PressureEvictions != us.PressureEvictions || bs.FlushEvictions != us.FlushEvictions {
+		t.Fatalf("stats diverge: bulk %+v vs unit %+v", bs, us)
+	}
+}
+
+// TestIndexAgreesWithShadowMap hammers the open-addressed index with heavy
+// churn — a tiny table under constant pressure eviction exercises
+// backward-shift deletion on nearly every packet — and periodically checks
+// Get against a shadow map. Capacity is set high enough that no count ever
+// reaches zero, so every departure is visible through OnEvict and the
+// shadow stays exact.
+func TestIndexAgreesWithShadowMap(t *testing.T) {
+	for _, p := range []Policy{LRU, Random} {
+		shadow := map[hashing.FlowID]uint64{}
+		c, err := New(Config{
+			Entries:  7, // odd and tiny: maximizes probe-chain overlap in the 16-cell table
+			Capacity: 1 << 40,
+			Policy:   p,
+			Seed:     11,
+			OnEvict: func(f hashing.FlowID, v uint64, r Reason) {
+				delete(shadow, f)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := hashing.NewPRNG(13)
+		for i := 0; i < 60000; i++ {
+			f := hashing.FlowID(rng.Intn(50))
+			c.Observe(f)
+			shadow[f]++
+
+			if i%17 == 0 { // periodic full cross-check
+				if c.Len() != len(shadow) {
+					t.Fatalf("%v packet %d: Len %d vs shadow %d", p, i, c.Len(), len(shadow))
+				}
+				for sf, sv := range shadow {
+					got, ok := c.Get(sf)
+					if !ok {
+						t.Fatalf("%v packet %d: flow %d missing from index", p, i, sf)
+					}
+					if got != sv {
+						t.Fatalf("%v packet %d: flow %d count %d, shadow %d", p, i, sf, got, sv)
+					}
+				}
+			}
+		}
+		c.Flush()
+		if c.Len() != 0 {
+			t.Fatalf("Len after flush = %d", c.Len())
+		}
+		for f := hashing.FlowID(0); f < 50; f++ {
+			if _, ok := c.Get(f); ok {
+				t.Fatalf("flow %d still indexed after flush", f)
+			}
+		}
+	}
+}
+
+// TestIndexBackwardShiftKeepsChainsReachable fills the table, then forces a
+// long run of LRU pressure deletions and verifies after each one that every
+// evicted flow is gone and every survivor stays reachable — the failure
+// mode of naive (non-shifting, non-tombstone) deletion is a survivor
+// stranded behind a hole in its probe chain.
+func TestIndexBackwardShiftKeepsChainsReachable(t *testing.T) {
+	const m = 64
+	rec := &recorder{}
+	c := newCache(t, m, 1<<30, LRU, rec)
+	flows := make([]hashing.FlowID, m)
+	for i := range flows {
+		flows[i] = hashing.FlowID(uint64(i) * 2654435761) // scattered keys
+		c.Observe(flows[i])
+	}
+	if c.Len() != m {
+		t.Fatalf("Len = %d, want %d", c.Len(), m)
+	}
+	// Each fresh insertion LRU-evicts flows[i], exercising indexDelete on a
+	// full (load factor 1/2) table.
+	for i := 0; i < m/2; i++ {
+		c.Observe(hashing.FlowID(1<<40 + uint64(i)))
+		for j := 0; j <= i; j++ {
+			if _, ok := c.Get(flows[j]); ok {
+				t.Fatalf("after %d deletions: evicted flow %d still reachable", i+1, j)
+			}
+		}
+		for j := i + 1; j < m; j++ {
+			if _, ok := c.Get(flows[j]); !ok {
+				t.Fatalf("after %d deletions: surviving flow %d unreachable", i+1, j)
+			}
+		}
+	}
+}
+
+func BenchmarkIndexLookupHit(b *testing.B) {
+	rec := func(hashing.FlowID, uint64, Reason) {}
+	c, _ := New(Config{Entries: 4096, Capacity: 1 << 40, Policy: LRU, OnEvict: rec})
+	for f := hashing.FlowID(0); f < 4096; f++ {
+		c.Observe(f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(hashing.FlowID(i & 4095)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

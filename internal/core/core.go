@@ -141,6 +141,19 @@ func (s *Sketch) Observe(flow hashing.FlowID) {
 	s.cache.Observe(flow)
 }
 
+// ObserveBatch processes a batch of packets, one unit each. It hoists the
+// construction-phase check out of the per-packet loop, which is the batch
+// entry point's whole advantage over calling Observe in a loop.
+func (s *Sketch) ObserveBatch(flows []hashing.FlowID) {
+	if s.flushed {
+		panic("core: Observe after Flush; construction phase is over")
+	}
+	s.units += uint64(len(flows))
+	for _, flow := range flows {
+		s.cache.Observe(flow)
+	}
+}
+
 // Add accounts units to the flow in one shot — the flow-volume (byte
 // counting) mode of Section 3.1. Size the cache capacity y in the same
 // units (e.g. 2x the mean flow volume).

@@ -76,11 +76,39 @@ func ByID(id string) (Experiment, error) {
 // below differ only in configuration and in the estimator they build for
 // the query phase.
 func ingest(w *Workload, s sketch.Ingester) {
-	for _, p := range w.Trace.Packets {
-		s.Observe(p.Flow)
+	if bo, ok := s.(batchObserver); ok {
+		// Batch fast path: stage flow IDs in a fixed chunk and hand them
+		// over wholesale. Order is preserved, so results are identical to
+		// the per-packet loop — only the call overhead changes.
+		var buf [ingestChunk]hashing.FlowID
+		n := 0
+		for _, p := range w.Trace.Packets {
+			buf[n] = p.Flow
+			n++
+			if n == len(buf) {
+				bo.ObserveBatch(buf[:n])
+				n = 0
+			}
+		}
+		if n > 0 {
+			bo.ObserveBatch(buf[:n])
+		}
+	} else {
+		for _, p := range w.Trace.Packets {
+			s.Observe(p.Flow)
+		}
 	}
 	s.Flush()
 }
+
+// batchObserver is the optional batched entry point a scheme can expose in
+// addition to the sketch.Ingester contract; ingest uses it when available.
+type batchObserver interface {
+	ObserveBatch([]hashing.FlowID)
+}
+
+// ingestChunk is the staging-buffer size of ingest's batch fast path.
+const ingestChunk = 1024
 
 // collect queries est for every flow in the trace's ground truth and pairs
 // each estimate with the actual size.

@@ -21,36 +21,101 @@ import (
 // the whole configured budget is used (per-shard totals sum exactly to the
 // configured Counters and CacheEntries).
 //
-// Observe may be called from multiple goroutines concurrently; each packet
-// is routed and enqueued to its shard's worker. Call Close to drain the
-// workers before querying.
+// There are two ingest paths. Observe may be called from multiple
+// goroutines concurrently; it is a compatibility wrapper over one internal
+// Ingester handle, so concurrent callers serialize on that handle's mutex.
+// For ingest that scales with producers, each producer goroutine should
+// hold its own handle from Ingester(): handles buffer privately per shard
+// and never contend with each other. Call Close to drain the workers (and
+// every outstanding handle) before querying.
 type Sharded struct {
+	opts   ShardedOptions
 	shards []*Sketch
 	queues []chan shardBatch
 	wg     sync.WaitGroup
+	// shardMask is len(shards)-1 when the shard count is a power of two
+	// (the common case), letting ShardFor mask instead of divide on the
+	// per-packet path; 0 otherwise.
+	shardMask uint64
+
+	// batchPool recycles full batches handed to the shard workers back to
+	// the producers, so steady-state ingest allocates no buffers.
+	batchPool sync.Pool
 
 	mu      sync.Mutex
-	batches []shardBatch // per-shard fill buffers, guarded by mu
-	closed  bool         // guarded by mu
+	handles []*Ingester // registered producer handles, guarded by mu
+	closed  bool        // guarded by mu
 	// sendWG counts in-flight full-batch sends that happen outside mu.
-	// Observe registers a send while still holding mu; Close waits for all
-	// registered senders before closing the queues, so a send can never hit
-	// a closed channel (which would panic and silently drop the batch).
+	// A dispatching handle registers the send while still holding mu; Close
+	// waits for all registered senders before closing the queues, so a send
+	// can never hit a closed channel (which would panic and silently drop
+	// the batch).
 	sendWG sync.WaitGroup
+
+	// legacy is the handle behind the Observe compatibility wrapper.
+	legacy *Ingester
 }
 
-const shardBatchSize = 256
+// ShardedOptions tunes the ingest machinery. The zero value selects the
+// defaults, which match the previously hard-wired constants.
+type ShardedOptions struct {
+	// BatchSize is the number of flow IDs a producer accumulates per shard
+	// before handing the batch to the shard worker. Larger batches amortize
+	// the queue handoff further but hold packets longer before they become
+	// visible to the shard. Default 256.
+	BatchSize int
+	// QueueDepth is the per-shard queue capacity in batches; producers
+	// block once a shard falls this far behind. Default 64.
+	QueueDepth int
+}
+
+// Default ingest tuning, kept as named constants so the scaling benchmarks
+// can reference the stock configuration.
+const (
+	DefaultShardBatchSize  = 256
+	DefaultShardQueueDepth = 64
+)
+
+func (o ShardedOptions) withDefaults() ShardedOptions {
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultShardBatchSize
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = DefaultShardQueueDepth
+	}
+	return o
+}
+
+func (o ShardedOptions) validate() error {
+	if o.BatchSize < 1 {
+		return fmt.Errorf("caesar: ShardedOptions.BatchSize must be >= 1, got %d", o.BatchSize)
+	}
+	if o.QueueDepth < 1 {
+		return fmt.Errorf("caesar: ShardedOptions.QueueDepth must be >= 1, got %d", o.QueueDepth)
+	}
+	return nil
+}
 
 type shardBatch []FlowID
 
-// NewSharded builds n shards from a total-budget config. n = 0 selects
-// GOMAXPROCS shards.
+// NewSharded builds n shards from a total-budget config with default ingest
+// tuning. n = 0 selects GOMAXPROCS shards.
 func NewSharded(n int, cfg Config) (*Sharded, error) {
+	return NewShardedOptions(n, cfg, ShardedOptions{})
+}
+
+// NewShardedOptions builds n shards from a total-budget config with
+// explicit ingest tuning. n = 0 selects GOMAXPROCS shards.
+func NewShardedOptions(n int, cfg Config, opts ShardedOptions) (*Sharded, error) {
 	if n == 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	if n < 1 {
 		return nil, fmt.Errorf("caesar: shard count must be >= 1, got %d", n)
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	counterBase, counterRem := cfg.Counters/n, cfg.Counters%n
 	entryBase, entryRem := cfg.CacheEntries/n, cfg.CacheEntries%n
@@ -59,9 +124,12 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 			n, cfg.Counters, cfg.CacheEntries)
 	}
 	s := &Sharded{
-		shards:  make([]*Sketch, n),
-		queues:  make([]chan shardBatch, n),
-		batches: make([]shardBatch, n),
+		opts:   opts,
+		shards: make([]*Sketch, n),
+		queues: make([]chan shardBatch, n),
+	}
+	if n&(n-1) == 0 {
+		s.shardMask = uint64(n - 1)
 	}
 	for i := range s.shards {
 		// Spread the division remainders across the first shards so no part
@@ -81,8 +149,7 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 			return nil, err
 		}
 		s.shards[i] = sk
-		s.queues[i] = make(chan shardBatch, 64)
-		s.batches[i] = make(shardBatch, 0, shardBatchSize) //caesar:ignore lockdiscipline s is under construction and not yet shared with any goroutine
+		s.queues[i] = make(chan shardBatch, opts.QueueDepth)
 	}
 	for i := range s.shards {
 		s.wg.Add(1)
@@ -90,52 +157,196 @@ func NewSharded(n int, cfg Config) (*Sharded, error) {
 			defer s.wg.Done()
 			sk := s.shards[i]
 			for batch := range s.queues[i] {
-				for _, flow := range batch {
-					sk.Observe(flow)
-				}
+				sk.ObserveBatch(batch)
+				s.putBatch(batch)
 			}
 		}(i)
 	}
+	s.legacy = s.Ingester()
 	return s, nil
+}
+
+// getBatch returns an empty batch with BatchSize capacity, recycled from
+// the pool when one is available.
+func (s *Sharded) getBatch() shardBatch {
+	if bp, _ := s.batchPool.Get().(*shardBatch); bp != nil {
+		return (*bp)[:0]
+	}
+	return make(shardBatch, 0, s.opts.BatchSize)
+}
+
+// putBatch returns a consumed batch to the pool.
+func (s *Sharded) putBatch(b shardBatch) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	s.batchPool.Put(&b)
 }
 
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
+// Options returns the (defaulted) ingest tuning.
+func (s *Sharded) Options() ShardedOptions { return s.opts }
+
 // ShardFor returns the index of the shard that owns a flow.
 func (s *Sharded) ShardFor(flow FlowID) int {
-	return int(hashing.MixWithSeed(uint64(flow), 0x5ad5ad) % uint64(len(s.shards)))
+	h := hashing.MixWithSeed(uint64(flow), 0x5ad5ad)
+	if s.shardMask != 0 {
+		// Power-of-two shard counts mask instead of divide; identical to the
+		// modulo below (h % n == h & (n-1) when n is a power of two), just
+		// without a hardware division on the per-packet path.
+		return int(h & s.shardMask)
+	}
+	return int(h % uint64(len(s.shards)))
 }
 
-// Observe routes one packet to its shard. Safe for concurrent use.
-func (s *Sharded) Observe(flow FlowID) {
-	i := s.ShardFor(flow)
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		panic("caesar: Observe after Close")
-	}
-	s.batches[i] = append(s.batches[i], flow)
-	var full shardBatch
-	if len(s.batches[i]) == shardBatchSize {
-		full = s.batches[i]
-		s.batches[i] = make(shardBatch, 0, shardBatchSize)
-		// Register the send before releasing mu: Close observes it under
-		// the same lock and will not close the queue until it completes.
-		s.sendWG.Add(1)
-	}
-	s.mu.Unlock()
-	if full != nil {
-		s.queues[i] <- full
-		s.sendWG.Done()
-	}
-}
+// Observe routes one packet to its shard. Safe for concurrent use; it is a
+// thin compatibility wrapper over an internal Ingester handle, so all
+// callers serialize on that handle's mutex. Producers that need ingest to
+// scale with cores should hold their own handle from Ingester().
+func (s *Sharded) Observe(flow FlowID) { s.legacy.Observe(flow) }
+
+// ObserveBatch routes a batch of packets to their shards in one call,
+// amortizing the route-and-buffer cost. Safe for concurrent use; same
+// serialization caveat as Observe.
+func (s *Sharded) ObserveBatch(flows []FlowID) { s.legacy.ObserveBatch(flows) }
 
 // ObservePacket parses a 5-tuple and routes one packet of its flow.
 func (s *Sharded) ObservePacket(t FiveTuple) { s.Observe(t.ID()) }
 
-// Close flushes the routing buffers, stops the workers, and flushes every
-// shard's cache to its counters. Idempotent.
+// Ingester returns a new per-producer ingest handle. Handles own private
+// per-shard fill buffers, so producers holding distinct handles never
+// contend with each other on the packet path — the handle's mutex is
+// uncontended except at the Close rendezvous. Close drains every handle's
+// buffered packets; a handle used after Close panics, exactly like Observe.
+func (s *Sharded) Ingester() *Ingester {
+	h := &Ingester{s: s}
+	h.batches = make([]shardBatch, len(s.shards)) //caesar:ignore lockdiscipline h is under construction and not yet shared with any goroutine
+	for i := range h.batches {
+		h.batches[i] = s.getBatch() //caesar:ignore lockdiscipline h is under construction and not yet shared with any goroutine
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic("caesar: Ingester after Close")
+	}
+	s.handles = append(s.handles, h)
+	return h
+}
+
+// Ingester is a per-producer ingest handle for a Sharded sketch. It is safe
+// for concurrent use, but its point is the opposite: give each producer
+// goroutine its own handle and the packet path never contends — Observe is
+// a buffered append behind a mutex no other producer touches, and only a
+// full batch (every BatchSize packets per shard) reaches shared state.
+type Ingester struct {
+	s *Sharded
+
+	mu      sync.Mutex
+	batches []shardBatch // per-shard private fill buffers, guarded by mu
+	closed  bool         // guarded by mu
+}
+
+// Observe routes one packet to its shard's buffer, dispatching the buffer
+// to the shard worker when it fills. It panics after Close.
+func (h *Ingester) Observe(flow FlowID) {
+	i := h.s.ShardFor(flow)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		panic("caesar: Observe after Close")
+	}
+	b := append(h.batches[i], flow)
+	if len(b) == cap(b) {
+		h.batches[i] = h.s.getBatch()
+		h.dispatch(i, b)
+	} else {
+		h.batches[i] = b
+	}
+	h.mu.Unlock()
+}
+
+// ObserveBatch routes a batch of packets to their shards under a single
+// lock acquisition. It panics after Close.
+func (h *Ingester) ObserveBatch(flows []FlowID) {
+	if len(flows) == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		panic("caesar: Observe after Close")
+	}
+	for _, flow := range flows {
+		i := h.s.ShardFor(flow)
+		b := append(h.batches[i], flow)
+		if len(b) == cap(b) {
+			h.batches[i] = h.s.getBatch()
+			h.dispatch(i, b)
+		} else {
+			h.batches[i] = b
+		}
+	}
+	h.mu.Unlock()
+}
+
+// ObservePacket parses a 5-tuple and routes one packet of its flow.
+func (h *Ingester) ObservePacket(t FiveTuple) { h.Observe(t.ID()) }
+
+// Flush pushes the handle's partially-filled buffers to the shard workers
+// without closing the handle, bounding how long a trickle of packets can
+// sit invisible in a producer's buffers. No-op after Close.
+func (h *Ingester) Flush() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for i, b := range h.batches {
+		if len(b) > 0 {
+			h.batches[i] = h.s.getBatch()
+			h.dispatch(i, b)
+		}
+	}
+}
+
+// dispatch hands one batch to shard i's worker. Called with h.mu held,
+// which is what makes it safe against Close: Close cannot finish draining
+// this handle (and therefore cannot close the queues) until h.mu is
+// released, so the send always lands on an open channel. The sendWG
+// registration additionally orders the send against Close for any future
+// caller that dispatches outside a drain-visible lock.
+func (h *Ingester) dispatch(i int, b shardBatch) {
+	s := h.s
+	s.mu.Lock()
+	s.sendWG.Add(1)
+	s.mu.Unlock()
+	s.queues[i] <- b
+	s.sendWG.Done()
+}
+
+// drain marks the handle closed and pushes its buffered packets to the
+// shard workers. Called only by Sharded.Close, before the queues close.
+func (h *Ingester) drain() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for i, b := range h.batches {
+		if len(b) > 0 {
+			h.s.queues[i] <- b
+		}
+		h.batches[i] = nil
+	}
+}
+
+// Close drains every registered Ingester handle (the Observe compatibility
+// handle included), stops the workers, and flushes every shard's cache to
+// its counters. Idempotent.
 func (s *Sharded) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -143,15 +354,17 @@ func (s *Sharded) Close() {
 		return
 	}
 	s.closed = true
-	for i, b := range s.batches {
-		if len(b) > 0 {
-			s.queues[i] <- b
-			s.batches[i] = nil
-		}
-	}
+	handles := s.handles
+	s.handles = nil
 	s.mu.Unlock()
-	// Drain in-flight Observe sends (registered under mu before closed was
-	// set) so closing the queues cannot race a send.
+	// Drain the handles: each drain takes the handle mutex, so it serializes
+	// after any in-flight Observe/dispatch on that handle, and marks the
+	// handle closed so later observers get the documented panic.
+	for _, h := range handles {
+		h.drain()
+	}
+	// Belt and braces: wait for any sends registered outside a handle drain
+	// before closing the queues (see Ingester.dispatch).
 	s.sendWG.Wait()
 	for _, q := range s.queues {
 		close(q)

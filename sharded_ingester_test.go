@@ -1,0 +1,238 @@
+package caesar
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func ingesterTestConfig() Config {
+	return Config{
+		Counters:      1 << 12,
+		CacheEntries:  1 << 8,
+		CacheCapacity: 16,
+		Seed:          7,
+	}
+}
+
+func shardedSnapshot(t *testing.T, s *Sharded) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngesterEquivalence feeds the same trace through the legacy Observe
+// wrapper and through a dedicated Ingester handle and requires byte-identical
+// snapshots: per-shard packet order is preserved regardless of which handle
+// buffered the packets, so the two paths must be indistinguishable to the
+// sketch state.
+func TestIngesterEquivalence(t *testing.T) {
+	legacy, err := NewSharded(4, ingesterTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, err := NewSharded(4, ingesterTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := handle.Ingester()
+
+	rng := hashing.NewPRNG(3)
+	for i := 0; i < 50000; i++ {
+		f := FlowID(rng.Intn(2000))
+		legacy.Observe(f)
+		h.Observe(f)
+	}
+	legacy.Close()
+	handle.Close()
+
+	if got, want := handle.NumPackets(), legacy.NumPackets(); got != want {
+		t.Fatalf("NumPackets: ingester %d vs legacy %d", got, want)
+	}
+	if !bytes.Equal(shardedSnapshot(t, legacy), shardedSnapshot(t, handle)) {
+		t.Fatal("ingester-fed snapshot differs from legacy Observe snapshot")
+	}
+}
+
+// TestIngesterBatchSizeInvariance runs one trace under several batch sizes
+// (including the degenerate size 1, which dispatches every packet) and via
+// ObserveBatch, requiring identical snapshots: batching must only change
+// when packets move, never what the shards eventually see or in what order.
+func TestIngesterBatchSizeInvariance(t *testing.T) {
+	trace := make([]FlowID, 30000)
+	rng := hashing.NewPRNG(5)
+	for i := range trace {
+		trace[i] = FlowID(rng.Intn(1500))
+	}
+
+	var want []byte
+	for _, opt := range []ShardedOptions{
+		{},
+		{BatchSize: 1},
+		{BatchSize: 3, QueueDepth: 2},
+		{BatchSize: 4096},
+	} {
+		s, err := NewShardedOptions(4, ingesterTestConfig(), opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		h := s.Ingester()
+		// Mix the single-packet and batch entry points: same packets in the
+		// same order, so the result must not depend on the entry point either.
+		h.ObserveBatch(trace[:10000])
+		for _, f := range trace[10000:20000] {
+			h.Observe(f)
+		}
+		h.Flush() // mid-stream Flush must not disturb anything
+		h.ObserveBatch(trace[20000:])
+		s.Close()
+		snap := shardedSnapshot(t, s)
+		if want == nil {
+			want = snap
+			continue
+		}
+		if !bytes.Equal(snap, want) {
+			t.Fatalf("snapshot under options %+v differs from default-options snapshot", opt)
+		}
+	}
+}
+
+// TestShardedOptions pins the option plumbing: zero values select the
+// documented defaults, explicit values stick, and nonsense is rejected.
+func TestShardedOptions(t *testing.T) {
+	s, err := NewSharded(2, ingesterTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := s.Options(); o.BatchSize != DefaultShardBatchSize || o.QueueDepth != DefaultShardQueueDepth {
+		t.Fatalf("default options = %+v", o)
+	}
+	s.Close()
+
+	s, err = NewShardedOptions(2, ingesterTestConfig(), ShardedOptions{BatchSize: 17, QueueDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := s.Options(); o.BatchSize != 17 || o.QueueDepth != 3 {
+		t.Fatalf("explicit options = %+v", o)
+	}
+	s.Close()
+
+	for _, bad := range []ShardedOptions{{BatchSize: -1}, {QueueDepth: -2}} {
+		if _, err := NewShardedOptions(2, ingesterTestConfig(), bad); err == nil {
+			t.Fatalf("NewShardedOptions accepted %+v", bad)
+		}
+	}
+}
+
+// TestIngesterAfterClose pins the lifecycle contract: observing through a
+// handle after Close panics (same contract as Sharded.Observe), Flush
+// degrades to a no-op, and new handles cannot be minted from a closed
+// Sharded.
+func TestIngesterAfterClose(t *testing.T) {
+	s, err := NewSharded(2, ingesterTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Ingester()
+	h.Observe(1)
+	s.Close()
+
+	h.Flush() // must not panic or resurrect buffers
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s after Close did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Observe", func() { h.Observe(2) })
+	mustPanic("ObserveBatch", func() { h.ObserveBatch([]FlowID{2, 3}) })
+	mustPanic("Ingester", func() { s.Ingester() })
+
+	if got := s.NumPackets(); got != 1 {
+		t.Fatalf("NumPackets = %d, want 1", got)
+	}
+}
+
+// TestIngesterCloseRace is the per-producer-handle analogue of
+// TestShardedObserveCloseRace: every worker owns its own Ingester and mixes
+// Observe with ObserveBatch while the main goroutine Closes mid-stream.
+// Under -race this guards the handle/Close rendezvous; the tally proves
+// exactly-once delivery — every packet whose Observe/ObserveBatch returned
+// before the panic is drained by Close, none twice.
+func TestIngesterCloseRace(t *testing.T) {
+	s, err := NewShardedOptions(4, ingesterTestConfig(), ShardedOptions{BatchSize: 8, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var (
+		sent    atomic.Uint64
+		paniced atomic.Uint64
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+	)
+	handles := make([]*Ingester, workers)
+	for w := range handles {
+		handles[w] = s.Ingester()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					paniced.Add(1)
+				}
+			}()
+			h := handles[w]
+			var batch [5]FlowID
+			<-start
+			for i := 0; ; i++ {
+				if i%7 == 0 {
+					// ObserveBatch checks closed before buffering anything, so
+					// a panicking call contributes zero packets — the tally
+					// only counts calls that returned.
+					for j := range batch {
+						batch[j] = FlowID(uint64(w)<<32 | uint64((i+j)%509))
+					}
+					h.ObserveBatch(batch[:])
+					sent.Add(uint64(len(batch)))
+				} else {
+					h.Observe(FlowID(uint64(w)<<32 | uint64(i%509)))
+					sent.Add(1)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+
+	if paniced.Load() != workers {
+		t.Fatalf("%d workers stopped via the after-Close panic, want %d", paniced.Load(), workers)
+	}
+	if got, want := s.NumPackets(), sent.Load(); got != want {
+		t.Fatalf("NumPackets = %d, want %d (dropped or duplicated packets across the Close race)", got, want)
+	}
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatalf("Estimator after Close: %v", err)
+	}
+	if got := est.Estimate(FlowID(1), CSM); got != got {
+		t.Fatalf("estimate is NaN after racing Close")
+	}
+	s.Close() // idempotent under racing handles too
+}
