@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint fuzz-smoke snapshot-compat bench-json bench-smoke ci
+.PHONY: build test race vet lint chaos fuzz-smoke snapshot-compat bench-json bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,18 @@ vet:
 lint:
 	$(GO) run ./cmd/caesar-lint ./...
 
+# The fault-injection chaos suite (chaos_test.go, docs/ROBUSTNESS.md):
+# overload drops, worker panics + quarantine, deadline-bounded shutdown,
+# torn snapshot writes. Runs under the race detector, three times, because
+# the bugs it hunts are scheduling-dependent; every run must prove the
+# exact accounting invariant observed == counted + dropped.
+chaos:
+	$(GO) test -race -count=3 -run='^TestChaos' .
+
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSketchObserveEstimate -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotReadFrom -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzTornSnapshot -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzFiveTupleHash -fuzztime=$(FUZZTIME) ./internal/hashing
 
 # Verifies the committed CSNP golden fixtures still round-trip byte for byte
@@ -48,4 +57,4 @@ bench-smoke:
 	$(GO) test -run=TestSketchObserveZeroAllocs -count=1 .
 	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
 
-ci: build vet test race lint fuzz-smoke snapshot-compat bench-smoke
+ci: build vet test race lint chaos fuzz-smoke snapshot-compat bench-smoke

@@ -123,6 +123,47 @@ type Stats struct {
 	// CacheKB and SRAMKB give the memory footprint in the paper's
 	// accounting (count bits only for the cache).
 	CacheKB, SRAMKB float64
+
+	// The remaining fields are populated only by Sharded.Stats: the loss
+	// ledger and worker-pool health of the overload-hardened ingest path
+	// (docs/ROBUSTNESS.md). Every packet handed to an ingest entry point is
+	// either counted in Packets (applied to a shard sketch) or in exactly
+	// one Dropped* bucket, so
+	//
+	//	packets observed == Packets + DroppedPackets
+	//
+	// holds exactly at all times after Close.
+
+	// DroppedPackets is the sum of the Dropped* causes below.
+	DroppedPackets uint64
+	// DroppedOverflow counts packets rejected by the Drop overflow policy
+	// on a full shard queue.
+	DroppedOverflow uint64
+	// DroppedSampled counts packets thinned by the Sample overflow policy.
+	DroppedSampled uint64
+	// DroppedQuarantine counts packets abandoned by (or routed to) a shard
+	// whose worker was quarantined after a panic.
+	DroppedQuarantine uint64
+	// DroppedTimeout counts packets given up on by a CloseContext or
+	// FlushContext deadline.
+	DroppedTimeout uint64
+	// DroppedAfterClose counts packets observed through a handle after
+	// Close — a documented counted no-op, not a panic.
+	DroppedAfterClose uint64
+	// DroppedInjected counts packets suppressed by a BeforeEnqueue hook
+	// (fault injection).
+	DroppedInjected uint64
+	// DroppedBatches counts whole batches discarded in one step (any cause).
+	DroppedBatches uint64
+	// QuarantinedShards is the number of shards whose worker has been
+	// quarantined; Health summarizes it.
+	QuarantinedShards int
+	// Health is the worker pool's failure state (Healthy when this Stats
+	// did not come from a Sharded sketch).
+	Health Health
+	// EffectiveLossRate is DroppedPackets/(DroppedPackets+Packets) — the
+	// ingest path's measured analogue of the paper's RCS loss rate ρ.
+	EffectiveLossRate float64
 }
 
 // Sketch is a CAESAR sketch in its online construction phase. It is not

@@ -1,0 +1,554 @@
+package caesar
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/caesar-sketch/caesar/internal/faultinject"
+	"github.com/caesar-sketch/caesar/internal/snapfile"
+)
+
+// The chaos suite drives the overload-hardened ingest path through every
+// injected fault class — queue overflow under each policy, stalled and slow
+// consumers, suppressed batches, worker panics, shutdown deadlines, torn
+// snapshot writes — and asserts the accounting invariant at the heart of
+// docs/ROBUSTNESS.md:
+//
+//	packets observed == NumPackets() + Stats().DroppedPackets
+//
+// exactly (not approximately) for every run, plus the per-fault contracts:
+// quarantined shards keep the survivors estimating, deadline shutdowns
+// return, torn snapshot files never replace a good one. CI runs this file
+// under -race -count=3 (make chaos).
+
+func chaosConfig() Config {
+	return Config{
+		Counters:      1 << 12,
+		CacheEntries:  1 << 8,
+		CacheCapacity: 16,
+		Seed:          11,
+	}
+}
+
+// assertAccounting pins the exactly-once-or-counted invariant after Close.
+func assertAccounting(t *testing.T, s *Sharded, observed uint64) Stats {
+	t.Helper()
+	st := s.Stats()
+	if got := s.NumPackets() + st.DroppedPackets; got != observed {
+		t.Fatalf("accounting broken: NumPackets %d + dropped %d = %d, want observed %d (ledger %+v)",
+			s.NumPackets(), st.DroppedPackets, got, observed, st)
+	}
+	if sum := st.DroppedOverflow + st.DroppedSampled + st.DroppedQuarantine +
+		st.DroppedTimeout + st.DroppedAfterClose + st.DroppedInjected; sum != st.DroppedPackets {
+		t.Fatalf("drop causes sum to %d, DroppedPackets says %d", sum, st.DroppedPackets)
+	}
+	return st
+}
+
+// drive feeds n packets over nFlows flows through one handle.
+func drive(s *Sharded, n, nFlows int) {
+	h := s.Ingester()
+	for i := 0; i < n; i++ {
+		h.Observe(FlowID(i % nFlows))
+	}
+}
+
+// TestChaosDropPolicyOverflow forces queue overflow with a slow consumer
+// under the Drop policy: overflow drops must appear and the ledger must
+// balance exactly.
+func TestChaosDropPolicyOverflow(t *testing.T) {
+	inj := faultinject.New(1)
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize:      16,
+		QueueDepth:     1,
+		OverflowPolicy: Drop,
+		Hooks:          ShardedHooks{OnWorkerBatch: inj.SlowConsumer(0.5, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 20000
+	drive(s, observed, 97)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if st.DroppedOverflow == 0 {
+		t.Fatal("Drop policy under a slow consumer produced no overflow drops; the fault was not exercised")
+	}
+	if st.Health != Healthy {
+		t.Fatalf("Health = %v after a lossy-but-faultless run, want Healthy", st.Health)
+	}
+	if st.EffectiveLossRate <= 0 || st.EffectiveLossRate >= 1 {
+		t.Fatalf("EffectiveLossRate = %v, want in (0,1)", st.EffectiveLossRate)
+	}
+}
+
+// TestChaosSamplePolicyOverflow does the same under the Sample policy: the
+// thinned packets land in DroppedSampled and the kept 1-in-N still reach
+// the sketch.
+func TestChaosSamplePolicyOverflow(t *testing.T) {
+	inj := faultinject.New(2)
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize:      16,
+		QueueDepth:     1,
+		OverflowPolicy: Sample,
+		SampleRate:     4,
+		Hooks:          ShardedHooks{OnWorkerBatch: inj.SlowConsumer(0.5, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 20000
+	drive(s, observed, 97)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if st.DroppedSampled == 0 {
+		t.Fatal("Sample policy under a slow consumer thinned nothing; the fault was not exercised")
+	}
+	if s.NumPackets() == 0 {
+		t.Fatal("Sample policy delivered nothing; it must keep 1-in-N")
+	}
+}
+
+// TestChaosInjectedBatchDrop suppresses batches on the producer path; the
+// suppressed packets must land in DroppedInjected, batch for batch matching
+// the injector's own ledger.
+func TestChaosInjectedBatchDrop(t *testing.T) {
+	inj := faultinject.New(3)
+	const batch = 32
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize: batch,
+		Hooks:     ShardedHooks{BeforeEnqueue: inj.DropBatches(0.3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 20000
+	drive(s, observed, 97)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if st.DroppedInjected == 0 {
+		t.Fatal("no injected drops recorded")
+	}
+	// The production ledger must agree with the injector's own: every
+	// suppressed batch was a full or final partial batch.
+	if st.DroppedBatches < inj.DroppedBatches() {
+		t.Fatalf("production counted %d dropped batches, injector suppressed %d", st.DroppedBatches, inj.DroppedBatches())
+	}
+}
+
+// TestChaosQueueStall stalls the producer path under the Block policy; no
+// packet may be lost — stalls reorder time, not accounting.
+func TestChaosQueueStall(t *testing.T) {
+	inj := faultinject.New(4)
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize: 16,
+		Hooks:     ShardedHooks{BeforeEnqueue: inj.StallQueues(0.05, time.Millisecond)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 5000
+	drive(s, observed, 97)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if st.DroppedPackets != 0 {
+		t.Fatalf("Block policy with stalls dropped %d packets, want 0 (ledger %+v)", st.DroppedPackets, st)
+	}
+	if inj.Stalls() == 0 {
+		t.Fatal("no stalls injected; the fault was not exercised")
+	}
+}
+
+// TestChaosWorkerPanicQuarantine panics one shard's worker mid-stream. The
+// sketch must degrade (not die): accounting stays exact including the
+// partially-applied panic batch, Health reports Degraded, the quarantined
+// shard's panic is inspectable, and the surviving shards still estimate
+// their flows accurately.
+func TestChaosWorkerPanicQuarantine(t *testing.T) {
+	inj := faultinject.New(5)
+	const target = 1
+	s, err := NewShardedOptions(4, chaosConfig(), ShardedOptions{
+		BatchSize: 16,
+		Hooks:     ShardedHooks{OnWorkerBatch: inj.PanicWorker(target, 3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 40000
+	const nFlows = 97
+	drive(s, observed, nFlows)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if inj.Panics() != 1 {
+		t.Fatalf("injector threw %d panics, want 1", inj.Panics())
+	}
+	if st.Health != Degraded || st.QuarantinedShards != 1 {
+		t.Fatalf("Health = %v with %d quarantined shards, want Degraded with 1", st.Health, st.QuarantinedShards)
+	}
+	if st.DroppedQuarantine == 0 {
+		t.Fatal("quarantined shard recorded no dropped traffic")
+	}
+	if reason, ok := s.ShardPanic(target); !ok || reason == "" {
+		t.Fatalf("ShardPanic(%d) = %q, %v; want the injected panic value", target, reason, ok)
+	}
+	if _, ok := s.ShardPanic(target + 1); ok {
+		t.Fatalf("healthy shard %d reports a panic", target+1)
+	}
+
+	// Survivors must still estimate. Every flow of a healthy shard saw
+	// observed/nFlows packets; require the usual accuracy on those.
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatalf("Estimator on a degraded sketch: %v", err)
+	}
+	if est.EffectiveLossRate() <= 0 {
+		t.Fatal("degraded sketch reports zero effective loss")
+	}
+	want := float64(observed / nFlows)
+	healthy, within := 0, 0
+	for f := FlowID(0); f < nFlows; f++ {
+		if s.ShardFor(f) == target {
+			continue
+		}
+		if !est.Covered(f) {
+			t.Fatalf("flow %d on a healthy shard is not covered", f)
+		}
+		healthy++
+		if got := est.Estimate(f, CSM); math.Abs(got-want) < 0.15*want {
+			within++
+		}
+	}
+	if healthy == 0 {
+		t.Fatal("test degenerate: every flow routed to the quarantined shard")
+	}
+	if within < healthy*85/100 {
+		t.Fatalf("only %d/%d surviving-shard flows within 15%% of truth", within, healthy)
+	}
+}
+
+// TestChaosAllShardsQuarantined panics every worker: the sketch must reach
+// the terminal Quarantined state and still Close, account, and answer
+// (degenerate) queries without hanging or crashing.
+func TestChaosAllShardsQuarantined(t *testing.T) {
+	inj := faultinject.New(6)
+	hooks := make([]func(shard, packets int), 2)
+	for i := range hooks {
+		hooks[i] = inj.PanicWorker(i, 1)
+	}
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize: 16,
+		Hooks: ShardedHooks{OnWorkerBatch: func(shard, packets int) {
+			hooks[shard](shard, packets)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 10000
+	drive(s, observed, 97)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if st.Health != Quarantined {
+		t.Fatalf("Health = %v, want Quarantined", st.Health)
+	}
+	if _, err := s.Estimator(); err != nil {
+		t.Fatalf("Estimator on a fully quarantined sketch: %v", err)
+	}
+}
+
+// TestChaosCloseContextDeadline wedges a worker permanently and closes with
+// a short deadline: CloseContext must return promptly with ctx's error, and
+// the timed-out packets must be counted, not silently lost.
+func TestChaosCloseContextDeadline(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s, err := NewShardedOptions(1, chaosConfig(), ShardedOptions{
+		BatchSize:  4,
+		QueueDepth: 1,
+		Hooks: ShardedHooks{OnWorkerBatch: func(shard, packets int) {
+			<-release // wedge the worker until the test lets go
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer once.Do(func() { close(release) })
+
+	const observed = 64
+	h := s.Ingester()
+	done := make(chan struct{})
+	var progress atomic.Uint64
+	go func() {
+		defer close(done)
+		for i := 0; i < observed; i++ {
+			h.Observe(FlowID(i)) // blocks once the queue fills behind the wedged worker
+			progress.Add(1)
+		}
+	}()
+	// Wait until the producer is actually wedged — one batch in the stalled
+	// worker, one in the queue, one blocked in dispatch — so CloseContext
+	// faces the deadlock scenario it exists for (the blocked dispatch holds
+	// the handle mutex the drain needs).
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		p := progress.Load()
+		time.Sleep(5 * time.Millisecond)
+		if q := progress.Load(); q == p && q > 0 && q < observed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("producer never wedged (progress %d/%d)", progress.Load(), observed)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.CloseContext(ctx)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CloseContext = %v, want a DeadlineExceeded-wrapped error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("CloseContext took %v against a 50ms deadline", elapsed)
+	}
+	// The wedged shard must have been quarantined rather than waited for.
+	if reason, ok := s.ShardPanic(0); !ok || reason == "" {
+		t.Fatalf("wedged shard not quarantined by the timed-out close (reason %q, ok %v)", reason, ok)
+	}
+
+	once.Do(func() { close(release) }) // un-wedge the worker applying its batch
+	<-done                             // abort latch must have released the blocked producer
+	s.wg.Wait()                        // worker exits: applied batch counted, queue drained as drops
+
+	st := assertAccounting(t, s, observed)
+	if st.DroppedTimeout == 0 {
+		t.Fatal("deadline shutdown recorded no timeout drops")
+	}
+	if st.Health != Quarantined {
+		t.Fatalf("Health = %v after abandoning the only worker, want Quarantined", st.Health)
+	}
+	if err := s.CloseContext(context.Background()); err != nil {
+		t.Fatalf("second CloseContext: %v", err)
+	}
+}
+
+// TestChaosFlushContextDeadline fills a queue behind a wedged worker and
+// calls FlushContext with an expired context: the buffered packets must be
+// counted as timeout drops and the error returned.
+func TestChaosFlushContextDeadline(t *testing.T) {
+	release := make(chan struct{})
+	s, err := NewShardedOptions(1, chaosConfig(), ShardedOptions{
+		BatchSize:  1024, // large, so packets stay in the handle buffer
+		QueueDepth: 1,
+		Hooks: ShardedHooks{OnWorkerBatch: func(shard, packets int) {
+			<-release
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := s.Ingester()
+	const buffered = 10
+	for i := 0; i < buffered; i++ {
+		h.Observe(FlowID(i))
+	}
+	// First flush fills the queue's one slot (worker not yet wedged on it);
+	// it must succeed.
+	if err := h.FlushContext(context.Background()); err != nil {
+		t.Fatalf("first FlushContext: %v", err)
+	}
+	for i := 0; i < buffered; i++ {
+		h.Observe(FlowID(i))
+	}
+	// The worker is (or will be) wedged on the first batch and the queue
+	// slot may still be free; fill it with a second flush, then a third
+	// flush against an expired context must count its packets as drops.
+	_ = h.FlushContext(context.Background())
+	for i := 0; i < buffered; i++ {
+		h.Observe(FlowID(i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h.FlushContext(ctx); err == nil {
+		t.Fatal("FlushContext with an expired context returned nil for undeliverable buffers")
+	}
+	if st := s.Stats(); st.DroppedTimeout != buffered {
+		t.Fatalf("DroppedTimeout = %d, want %d", st.DroppedTimeout, buffered)
+	}
+	close(release)
+	s.Close()
+	assertAccounting(t, s, 3*buffered)
+}
+
+// TestChaosTornSnapshotWrite exercises the crash-safe writer against every
+// snapshot fault class: a truncated payload, bit flips, and a crash before
+// rename. In every case the destination file must keep its previous good
+// content, and the loader must reject the torn bytes (when they exist)
+// without panicking.
+func TestChaosTornSnapshotWrite(t *testing.T) {
+	s, err := NewSharded(2, chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 5000
+	drive(s, observed, 97)
+	s.Close()
+	assertAccounting(t, s, observed)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.csnp")
+	if err := s.SnapshotFile(path); err != nil {
+		t.Fatalf("SnapshotFile: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardedSnapshot(bytes.NewReader(good)); err != nil {
+		t.Fatalf("clean snapshot does not load: %v", err)
+	}
+
+	inj := faultinject.New(7)
+	src := writerToFunc(s.Snapshot)
+	for name, hooks := range map[string]*snapfile.Hooks{
+		"truncated": {TransformPayload: faultinject.Truncate(0.5)},
+		"bitflips":  {TransformPayload: inj.FlipBits(8)},
+		"crash":     {BeforeRename: faultinject.CrashBeforeRename()},
+	} {
+		switch name {
+		case "crash":
+			// The injected crash happens before rename: Write must fail and
+			// the destination must still hold the previous good snapshot.
+			if err := snapfile.Write(path, src, hooks); !errors.Is(err, faultinject.ErrInjectedCrash) {
+				t.Fatalf("%s: Write = %v, want ErrInjectedCrash", name, err)
+			}
+		default:
+			// Corrupting transforms produce a file whose bytes are torn; the
+			// loader must reject them. (A real torn write dies before rename;
+			// the transform models finding such bytes on disk.)
+			corruptPath := filepath.Join(dir, name+".csnp")
+			if err := snapfile.Write(corruptPath, src, hooks); err != nil {
+				t.Fatalf("%s: Write: %v", name, err)
+			}
+			corrupt, err := os.ReadFile(corruptPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(corrupt, good) {
+				t.Fatalf("%s: transform did not alter the snapshot", name)
+			}
+			if _, err := ReadShardedSnapshot(bytes.NewReader(corrupt)); err == nil {
+				t.Fatalf("%s: loader accepted torn snapshot bytes", name)
+			}
+		}
+		now, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(now, good) {
+			t.Fatalf("%s: destination snapshot changed", name)
+		}
+		// No temp litter may survive a failed or diverted write.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if ext := filepath.Ext(e.Name()); ext != ".csnp" {
+				t.Fatalf("%s: stray file %q left behind", name, e.Name())
+			}
+		}
+	}
+}
+
+// TestChaosSnapshotCarriesLossLedger round-trips a lossy run through the
+// snapshot layer: the loaded query-only sketch must report the same drops,
+// health, and effective loss rate the construction process measured.
+func TestChaosSnapshotCarriesLossLedger(t *testing.T) {
+	inj := faultinject.New(8)
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize: 16,
+		Hooks:     ShardedHooks{BeforeEnqueue: inj.DropBatches(0.3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 20000
+	drive(s, observed, 97)
+	s.Close()
+	want := assertAccounting(t, s, observed)
+
+	var buf bytes.Buffer
+	if _, err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Stats()
+	if got.DroppedPackets != want.DroppedPackets || got.DroppedInjected != want.DroppedInjected ||
+		got.DroppedBatches != want.DroppedBatches || got.Health != want.Health ||
+		got.EffectiveLossRate != want.EffectiveLossRate {
+		t.Fatalf("loaded loss ledger %+v differs from written %+v", got, want)
+	}
+	if loaded.NumPackets()+got.DroppedPackets != observed {
+		t.Fatalf("loaded snapshot accounting broken: %d + %d != %d", loaded.NumPackets(), got.DroppedPackets, observed)
+	}
+	est, err := loaded.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := est.EffectiveLossRate(); rho != want.EffectiveLossRate {
+		t.Fatalf("loaded estimator loss rate %v, want %v", rho, want.EffectiveLossRate)
+	}
+}
+
+// TestChaosLossAdjustedEstimate drops ~half the traffic and checks that the
+// loss-adjusted estimate recenters on the true flow size while the raw
+// estimate covers only the recorded fraction — the paper's lossy-RCS
+// correction applied to our ingest loss.
+func TestChaosLossAdjustedEstimate(t *testing.T) {
+	inj := faultinject.New(9)
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize: 8,
+		Hooks:     ShardedHooks{BeforeEnqueue: inj.DropBatches(0.5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 60000
+	const nFlows = 97
+	drive(s, observed, nFlows)
+	s.Close()
+	st := assertAccounting(t, s, observed)
+	if st.EffectiveLossRate < 0.3 || st.EffectiveLossRate > 0.7 {
+		t.Fatalf("EffectiveLossRate = %v, want ~0.5", st.EffectiveLossRate)
+	}
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := float64(observed / nFlows)
+	var rawErr, adjErr float64
+	for f := FlowID(0); f < nFlows; f++ {
+		rawErr += math.Abs(est.Estimate(f, CSM)-truth) / truth
+		adjErr += math.Abs(est.EstimateLossAdjusted(f, CSM)-truth) / truth
+	}
+	rawErr /= nFlows
+	adjErr /= nFlows
+	if adjErr >= rawErr {
+		t.Fatalf("loss-adjusted ARE %.3f not better than raw ARE %.3f at ~50%% loss", adjErr, rawErr)
+	}
+	if adjErr > 0.15 {
+		t.Fatalf("loss-adjusted ARE %.3f too large", adjErr)
+	}
+}

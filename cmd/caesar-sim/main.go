@@ -38,6 +38,7 @@ import (
 	"github.com/caesar-sketch/caesar/internal/hashing"
 	"github.com/caesar-sketch/caesar/internal/rcs"
 	"github.com/caesar-sketch/caesar/internal/sampling"
+	"github.com/caesar-sketch/caesar/internal/snapfile"
 	"github.com/caesar-sketch/caesar/internal/stats"
 	"github.com/caesar-sketch/caesar/internal/trace"
 	"github.com/caesar-sketch/caesar/internal/vhc"
@@ -275,24 +276,17 @@ func observeTrace(tr *trace.Trace, obs interface{ Observe(hashing.FlowID) }) {
 }
 
 // saveSnapshot writes the sketch's snapshot to path; a no-op when path is
-// empty so call sites can pass the -save flag unconditionally.
+// empty so call sites can pass the -save flag unconditionally. The write is
+// crash-safe (temp file + fsync + atomic rename via internal/snapfile): a
+// crash mid-save leaves the previous snapshot intact, never a torn CSNP.
 func saveSnapshot(path string, s io.WriterTo) {
 	if path == "" {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := snapfile.Write(path, s); err != nil {
 		fatal(err)
 	}
-	n, err := s.WriteTo(f)
-	if err != nil {
-		f.Close() //caesar:ignore errcheck the WriteTo error is already fatal; nothing to add from the failed close
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("snapshot: saved %d bytes to %s\n", n, path)
+	fmt.Printf("snapshot: saved to %s\n", path)
 }
 
 // loadSnapshot reads a sketch snapshot from path using a scheme-specific

@@ -77,6 +77,98 @@ func FuzzSketchObserveEstimate(f *testing.F) {
 	})
 }
 
+// FuzzTornSnapshot models torn and corrupted writes directly: it starts
+// from genuinely valid CSNP bytes (one plain sketch, one sharded snapshot
+// carrying a loss ledger) and applies the two corruptions a crashed or
+// failing disk produces — truncation at an arbitrary offset and bit flips.
+// The container contract under test: the CRC32 covers every byte after the
+// magic, so ANY mutation of a valid snapshot must surface as an error —
+// never a panic, never a silently-wrong sketch — and a failed ReadFrom
+// leaves the receiver bit-identical. (This is the same contract the chaos
+// suite's TestChaosTornSnapshotWrite checks through the snapfile hooks; the
+// fuzzer explores the offset space those fixed cases cannot.)
+func FuzzTornSnapshot(f *testing.F) {
+	mkValid := func() (plain, sharded []byte) {
+		sk, err := New(Config{Counters: 128, CacheEntries: 16, CacheCapacity: 8, Seed: 21})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			sk.Observe(FlowID(i % 24))
+		}
+		var pb bytes.Buffer
+		if _, err := sk.WriteTo(&pb); err != nil {
+			f.Fatal(err)
+		}
+
+		sh, err := NewSharded(2, Config{Counters: 128, CacheEntries: 16, CacheCapacity: 8, Seed: 21})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			sh.Observe(FlowID(i % 24))
+		}
+		sh.Close()
+		var sb bytes.Buffer
+		if _, err := sh.Snapshot(&sb); err != nil {
+			f.Fatal(err)
+		}
+		return pb.Bytes(), sb.Bytes()
+	}
+	plain, sharded := mkValid()
+
+	f.Add(true, uint32(0), uint32(0), byte(0))       // untouched plain snapshot
+	f.Add(false, uint32(0), uint32(0), byte(0))      // untouched sharded snapshot
+	f.Add(true, uint32(1), uint32(0), byte(0))       // near-total truncation
+	f.Add(false, uint32(len(sharded)/2), uint32(0), byte(0))
+	f.Add(true, uint32(0), uint32(5), byte(1))       // header bit flip
+	f.Add(false, uint32(0), uint32(len(sharded)-1), byte(0x80)) // CRC bit flip
+
+	f.Fuzz(func(t *testing.T, usePlain bool, truncateAt, flipPos uint32, flipMask byte) {
+		valid := sharded
+		if usePlain {
+			valid = plain
+		}
+		mutated := append([]byte(nil), valid...)
+		if int(truncateAt) < len(mutated) {
+			mutated = mutated[:truncateAt]
+		}
+		if flipMask != 0 && len(mutated) > 0 {
+			mutated[int(flipPos)%len(mutated)] ^= flipMask
+		}
+		torn := !bytes.Equal(mutated, valid)
+
+		// The standalone loaders must reject every torn variant cleanly.
+		if _, err := ReadSketch(bytes.NewReader(mutated)); torn && err == nil {
+			t.Fatalf("ReadSketch accepted torn snapshot (truncate=%d flip=%d/%#x)", truncateAt, flipPos, flipMask)
+		}
+		if _, err := ReadShardedSnapshot(bytes.NewReader(mutated)); torn && err == nil {
+			t.Fatalf("ReadShardedSnapshot accepted torn snapshot (truncate=%d flip=%d/%#x)", truncateAt, flipPos, flipMask)
+		}
+
+		// A failed in-place load must leave the receiver untouched; an intact
+		// one must succeed and answer queries.
+		recv, err := New(Config{Counters: 128, CacheEntries: 16, CacheCapacity: 8, Seed: 33})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			recv.Observe(FlowID(i % 9))
+		}
+		before := recv.Estimate(3)
+		if _, err := recv.ReadFrom(bytes.NewReader(mutated)); err != nil {
+			if usePlain && !torn {
+				t.Fatalf("ReadFrom rejected an intact snapshot: %v", err)
+			}
+			if got := recv.Estimate(3); math.Float64bits(got) != math.Float64bits(before) {
+				t.Fatalf("failed ReadFrom mutated receiver: %v != %v", got, before)
+			}
+		} else if torn {
+			t.Fatalf("ReadFrom accepted torn snapshot (truncate=%d flip=%d/%#x)", truncateAt, flipPos, flipMask)
+		}
+	})
+}
+
 // FuzzSnapshotReadFrom throws arbitrary bytes at every public snapshot
 // reader. The contract under test: corrupted, truncated, or adversarial
 // snapshots are reported as errors — never a panic, never a hang on a huge

@@ -4,6 +4,7 @@
 package fixture
 
 import (
+	"context"
 	"errors"
 	"strconv"
 )
@@ -29,5 +30,26 @@ func handles() error {
 	strconv.Atoi("7") // clean: stdlib is classic errcheck's job, not ours
 	//caesar:ignore errcheck fixture demonstrating a justified drop
 	fallible()
+	return nil
+}
+
+// The deadline-bounded shutdown APIs (Sharded.CloseContext,
+// Ingester.FlushContext) return the only signal that a deadline expired and
+// batches were counted as dropped; dropping that error hides a lossy close.
+// These mirror-shaped methods pin the analyzer to that contract.
+type shutdownAPI struct{}
+
+func (shutdownAPI) CloseContext(ctx context.Context) error { return nil }
+
+func (shutdownAPI) FlushContext(ctx context.Context) error { return nil }
+
+func shutsDown(ctx context.Context) error {
+	var s shutdownAPI
+	s.CloseContext(ctx) // want "error that is silently dropped"
+	s.FlushContext(ctx) // want "error that is silently dropped"
+	if err := s.FlushContext(ctx); err != nil {
+		return err // clean: timeout surfaced to the caller
+	}
+	_ = s.CloseContext(ctx) // clean: explicitly discarded
 	return nil
 }

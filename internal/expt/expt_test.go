@@ -171,6 +171,69 @@ func fig7Accuracies(t *testing.T, w *Workload) []Accuracy {
 	return accs
 }
 
+// TestLossAccountingMatchesConfiguredRates pins the satellite contract for
+// the overload-hardening work: driving RCS and CAESAR at the paper's
+// empirical loss rates (2/3 and 9/10, Figure 7), the measured effective
+// loss rate must match the injected rate within tolerance, and the (1-rho)
+// correction must recover elephant accuracy the raw lossy estimates lose.
+func TestLossAccountingMatchesConfiguredRates(t *testing.T) {
+	w := smallWorkload(t)
+	// With ~376k packets the binomial deviation of the realized loss rate is
+	// ~0.001; 0.02 is a generous determinism-safe tolerance.
+	const tol = 0.02
+	for _, loss := range []float64{2.0 / 3, 9.0 / 10} {
+		for _, scheme := range []struct {
+			name string
+			run  func(*Workload, float64) (lossyRun, error)
+		}{
+			{"RCS", runLossyRCS},
+			{"CAESAR", runLossyCAESAR},
+		} {
+			r, err := scheme.run(w, loss)
+			if err != nil {
+				t.Fatalf("%s at loss %.2f: %v", scheme.name, loss, err)
+			}
+			if gap := r.effective - loss; gap > tol || gap < -tol {
+				t.Errorf("%s: measured rho %.4f vs configured %.4f (gap %.4f > %.2f)",
+					scheme.name, r.effective, loss, gap, tol)
+			}
+			raw := MeasureAccuracy("raw", r.raw, w.largeCut())
+			corr := MeasureAccuracy("corrected", r.corrected, w.largeCut())
+			if corr.AREHuge >= raw.AREHuge {
+				t.Errorf("%s at loss %.2f: corrected elephant ARE %.3f not better than raw %.3f",
+					scheme.name, loss, corr.AREHuge, raw.AREHuge)
+			}
+			// The raw lossy error tracks the loss rate itself (Figure 7);
+			// the correction must break from that floor by a clear margin.
+			// It cannot reach lossless accuracy: the (1-rho) rescale also
+			// multiplies the counter-sharing noise and the sampling variance
+			// of the kept fraction, which leaves corrected elephant ARE
+			// around 0.5 at these rates and this scale's noise floor.
+			if corr.AREHuge > raw.AREHuge-0.1 {
+				t.Errorf("%s at loss %.2f: corrected elephant ARE %.3f not decisively better than raw %.3f",
+					scheme.name, loss, corr.AREHuge, raw.AREHuge)
+			}
+		}
+	}
+}
+
+func TestAblationLossAccountingReport(t *testing.T) {
+	w := smallWorkload(t)
+	r, err := AblationLossAccounting(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "abl-lossacct" {
+		t.Fatalf("report id %q", r.ID)
+	}
+	if !strings.Contains(r.Table, "CAESAR") || !strings.Contains(r.Table, "RCS") {
+		t.Fatalf("table missing schemes:\n%s", r.Table)
+	}
+	if !strings.Contains(r.Headline, "measured rho within") {
+		t.Fatalf("headline: %s", r.Headline)
+	}
+}
+
 func TestSchemeOrderingAcrossExperiments(t *testing.T) {
 	// The paper's central comparison, checked in the elephant regime (flows
 	// whose own mass dominates the sharing-noise floor — the only regime

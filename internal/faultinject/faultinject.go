@@ -1,0 +1,158 @@
+// Package faultinject builds seeded, deterministic fault injectors for the
+// chaos test suite (chaos_test.go at the repo root). Faults plug into the
+// production code through plain hook structs — caesar.ShardedHooks on the
+// ingest path, snapfile.Hooks on the snapshot writer — so no build tags or
+// test-only code paths exist in the hardened code itself, and every run
+// with the same seed injects the same faults in the same places.
+//
+// The injectors also keep their own ledgers (batches suppressed, panics
+// thrown, bytes corrupted), so tests can assert the production accounting
+// against what was actually injected rather than against expectations.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Injector derives deterministic fault decisions from a seed. Each decision
+// point draws from a PRNG guarded by a mutex, so injectors are safe on
+// concurrent producer and worker goroutines while staying reproducible for
+// a fixed seed and call order (tests that need strict reproducibility drive
+// the injector from one goroutine).
+type Injector struct {
+	mu  sync.Mutex
+	rng *hashing.PRNG
+
+	// Ledgers, readable while injection is ongoing.
+	dropped  atomic.Uint64 // batches suppressed by DropBatches
+	stalls   atomic.Uint64 // stalls injected by StallQueues / SlowConsumer
+	panicked atomic.Uint64 // panics thrown by PanicWorker
+}
+
+// New returns an injector seeded for reproducibility.
+func New(seed uint64) *Injector {
+	return &Injector{rng: hashing.NewPRNG(seed)}
+}
+
+// roll draws a uniform float in [0,1) under the lock.
+func (in *Injector) roll() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+// DroppedBatches returns how many batches the injector has suppressed.
+func (in *Injector) DroppedBatches() uint64 { return in.dropped.Load() }
+
+// Stalls returns how many stalls the injector has inserted.
+func (in *Injector) Stalls() uint64 { return in.stalls.Load() }
+
+// Panics returns how many worker panics the injector has thrown.
+func (in *Injector) Panics() uint64 { return in.panicked.Load() }
+
+// DropBatches returns a BeforeEnqueue hook that suppresses each batch with
+// probability p. Suppressed batches are counted here and (by the ingest
+// path) in Stats.DroppedInjected.
+func (in *Injector) DropBatches(p float64) func(shard, packets int) bool {
+	return func(shard, packets int) bool {
+		if in.roll() < p {
+			in.dropped.Add(1)
+			return false
+		}
+		return true
+	}
+}
+
+// StallQueues returns a BeforeEnqueue hook that sleeps for d with
+// probability p before letting the batch through, modeling a stalled
+// ingest path (producers back up behind the sleeping one).
+func (in *Injector) StallQueues(p float64, d time.Duration) func(shard, packets int) bool {
+	return func(shard, packets int) bool {
+		if in.roll() < p {
+			in.stalls.Add(1)
+			time.Sleep(d)
+		}
+		return true
+	}
+}
+
+// SlowConsumer returns an OnWorkerBatch hook that sleeps for d with
+// probability p before the batch is applied, modeling a shard worker that
+// cannot keep up (its queue fills, triggering the overflow policy).
+func (in *Injector) SlowConsumer(p float64, d time.Duration) func(shard, packets int) {
+	return func(shard, packets int) {
+		if in.roll() < p {
+			in.stalls.Add(1)
+			time.Sleep(d)
+		}
+	}
+}
+
+// PanicWorker returns an OnWorkerBatch hook that panics on the target
+// shard's n-th batch (1-based), driving the quarantine machinery exactly
+// like a real worker fault. Other shards are untouched.
+func (in *Injector) PanicWorker(targetShard, nthBatch int) func(shard, packets int) {
+	var seen atomic.Uint64
+	return func(shard, packets int) {
+		if shard != targetShard {
+			return
+		}
+		if int(seen.Add(1)) == nthBatch {
+			in.panicked.Add(1)
+			panic("faultinject: injected worker panic")
+		}
+	}
+}
+
+// ErrInjectedCrash is the error BeforeRename crash hooks return; tests
+// match it with errors.Is.
+var ErrInjectedCrash = errors.New("faultinject: injected crash before rename")
+
+// CrashBeforeRename returns a snapfile BeforeRename hook that fails the
+// write at the point where the destination file must still hold its
+// previous content — the moral equivalent of a crash between fsync and
+// rename.
+func CrashBeforeRename() func(tmpPath string) error {
+	return func(string) error { return ErrInjectedCrash }
+}
+
+// Truncate returns a snapfile TransformPayload hook writing only the first
+// fraction (in [0,1]) of the snapshot — a torn write. The loader must
+// reject the result (the CSNP CRC and framed lengths catch any prefix).
+func Truncate(fraction float64) func([]byte) []byte {
+	return func(b []byte) []byte {
+		n := int(float64(len(b)) * fraction)
+		if n < 0 {
+			n = 0
+		}
+		if n > len(b) {
+			n = len(b)
+		}
+		return b[:n]
+	}
+}
+
+// FlipBits returns a snapfile TransformPayload hook flipping nBits
+// deterministically chosen bits in the snapshot, modeling media corruption
+// under the CRC. Positions come from the injector's seed.
+func (in *Injector) FlipBits(nBits int) func([]byte) []byte {
+	return func(b []byte) []byte {
+		if len(b) == 0 {
+			return b
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		for i := 0; i < nBits; i++ {
+			pos := in.rng.Intn(len(out))
+			out[pos] ^= 1 << in.rng.Intn(8)
+		}
+		return out
+	}
+}

@@ -1,0 +1,217 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDropBatchesDeterministicAndCounted checks the two properties the chaos
+// suite leans on: the same seed suppresses the same batches in the same
+// order, and the injector's ledger matches the hook's refusals exactly.
+func TestDropBatchesDeterministicAndCounted(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed)
+		hook := in.DropBatches(0.4)
+		out := make([]bool, 200)
+		refused := 0
+		for i := range out {
+			out[i] = hook(i%4, 32)
+			if !out[i] {
+				refused++
+			}
+		}
+		if got := in.DroppedBatches(); got != uint64(refused) {
+			t.Fatalf("ledger says %d dropped, hook refused %d", got, refused)
+		}
+		if refused == 0 || refused == len(out) {
+			t.Fatalf("p=0.4 over %d rolls gave %d refusals; injector is not rolling", len(out), refused)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+}
+
+func TestDropBatchesExtremes(t *testing.T) {
+	in := New(1)
+	never := in.DropBatches(0)
+	for i := 0; i < 50; i++ {
+		if !never(0, 1) {
+			t.Fatal("p=0 suppressed a batch")
+		}
+	}
+	always := in.DropBatches(1)
+	for i := 0; i < 50; i++ {
+		if always(0, 1) {
+			t.Fatal("p=1 let a batch through")
+		}
+	}
+	if got := in.DroppedBatches(); got != 50 {
+		t.Fatalf("DroppedBatches = %d, want 50", got)
+	}
+}
+
+func TestStallHooksCountAndSleep(t *testing.T) {
+	in := New(3)
+	stall := in.StallQueues(1, 2*time.Millisecond)
+	start := time.Now()
+	if !stall(0, 8) {
+		t.Fatal("StallQueues must always pass the batch through")
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("stall returned after %v, want >= 2ms", elapsed)
+	}
+	slow := in.SlowConsumer(1, 2*time.Millisecond)
+	start = time.Now()
+	slow(1, 8)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("slow consumer returned after %v, want >= 2ms", elapsed)
+	}
+	if got := in.Stalls(); got != 2 {
+		t.Fatalf("Stalls = %d, want 2", got)
+	}
+	// p=0 variants never sleep or count.
+	in2 := New(3)
+	in2.StallQueues(0, time.Hour)(0, 1)
+	in2.SlowConsumer(0, time.Hour)(0, 1)
+	if got := in2.Stalls(); got != 0 {
+		t.Fatalf("p=0 hooks recorded %d stalls", got)
+	}
+}
+
+// TestPanicWorkerTargetsNthBatch verifies the panic lands on exactly the
+// configured shard and batch ordinal, and nowhere else.
+func TestPanicWorkerTargetsNthBatch(t *testing.T) {
+	in := New(9)
+	hook := in.PanicWorker(2, 3)
+
+	// Other shards never trip it, no matter how many batches they see.
+	for i := 0; i < 10; i++ {
+		hook(0, 4)
+		hook(1, 4)
+	}
+	// Target shard survives batches 1 and 2...
+	hook(2, 4)
+	hook(2, 4)
+	if got := in.Panics(); got != 0 {
+		t.Fatalf("panicked early: Panics = %d", got)
+	}
+	// ...and dies on the 3rd.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("3rd batch on target shard did not panic")
+			}
+		}()
+		hook(2, 4)
+	}()
+	if got := in.Panics(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	// One-shot: the 4th batch passes.
+	hook(2, 4)
+	if got := in.Panics(); got != 1 {
+		t.Fatalf("panic fired twice: Panics = %d", got)
+	}
+}
+
+func TestCrashBeforeRename(t *testing.T) {
+	hook := CrashBeforeRename()
+	err := hook("/tmp/whatever")
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("hook returned %v, want ErrInjectedCrash", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	payload := []byte("0123456789")
+	cases := []struct {
+		fraction float64
+		want     int
+	}{
+		{0, 0},
+		{0.5, 5},
+		{1, 10},
+		{-1, 0},  // clamped low
+		{2.5, 10}, // clamped high
+	}
+	for _, c := range cases {
+		got := Truncate(c.fraction)(payload)
+		if len(got) != c.want {
+			t.Fatalf("Truncate(%v) kept %d bytes, want %d", c.fraction, len(got), c.want)
+		}
+		if !bytes.HasPrefix(payload, got) {
+			t.Fatalf("Truncate(%v) returned non-prefix %q", c.fraction, got)
+		}
+	}
+}
+
+func TestFlipBitsCorruptsCopyNotInput(t *testing.T) {
+	in := New(5)
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	orig := append([]byte(nil), payload...)
+	out := in.FlipBits(8)(payload)
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("FlipBits mutated its input slice")
+	}
+	if bytes.Equal(out, orig) {
+		t.Fatal("FlipBits(8) returned unchanged bytes")
+	}
+	if len(out) != len(orig) {
+		t.Fatalf("FlipBits changed length: %d -> %d", len(orig), len(out))
+	}
+	// Flipping bits only toggles; total popcount difference is bounded by 8.
+	diff := 0
+	for i := range out {
+		x := out[i] ^ orig[i]
+		for x != 0 {
+			diff++
+			x &= x - 1
+		}
+	}
+	if diff == 0 || diff > 8 {
+		t.Fatalf("FlipBits(8) flipped %d bits, want 1..8", diff)
+	}
+	// Empty payload passes through untouched.
+	if got := in.FlipBits(8)(nil); len(got) != 0 {
+		t.Fatalf("FlipBits on empty payload returned %d bytes", len(got))
+	}
+}
+
+// TestInjectorConcurrentRolls exercises the shared-PRNG lock under the race
+// detector: concurrent producers and workers hitting one injector must not
+// race, and the ledger must account for every decision.
+func TestInjectorConcurrentRolls(t *testing.T) {
+	in := New(11)
+	drop := in.DropBatches(0.5)
+	slow := in.SlowConsumer(0.5, 0)
+	var wg sync.WaitGroup
+	var passed sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 200; i++ {
+				if drop(g, 1) {
+					n++
+				}
+				slow(g, 1)
+			}
+			passed.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	passed.Range(func(_, v any) bool { total += v.(int); return true })
+	if got := in.DroppedBatches(); got != uint64(8*200-total) {
+		t.Fatalf("ledger %d != refusals %d", got, 8*200-total)
+	}
+}

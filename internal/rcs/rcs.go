@@ -150,6 +150,18 @@ func (s *Sketch) Recorded() uint64 { return s.recorded }
 // Dropped returns how many packets the loss front end discarded.
 func (s *Sketch) Dropped() uint64 { return s.dropped }
 
+// EffectiveLossRate returns the measured loss fraction
+// dropped/(dropped+recorded) — the realized counterpart of the configured
+// LossRate, and what estimates must be divided into (1-rate) to correct
+// for the loss, as in the paper's Figure 7 evaluation.
+func (s *Sketch) EffectiveLossRate() float64 {
+	total := s.dropped + s.recorded
+	if total == 0 {
+		return 0
+	}
+	return float64(s.dropped) / float64(total)
+}
+
 // SRAM exposes the counter array.
 func (s *Sketch) SRAM() *counters.Array { return s.sram }
 

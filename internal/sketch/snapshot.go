@@ -234,6 +234,16 @@ func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }
 
+// Remaining returns how many payload bytes have not been consumed yet (0
+// after an error). Decoders use it to probe for optional trailing sections
+// added by later writers while staying readable by older payload layouts.
+func (d *Decoder) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
 func (d *Decoder) failf(format string, args ...any) {
 	if d.err == nil {
 		d.err = fmt.Errorf("sketch: "+format, args...)

@@ -1,0 +1,110 @@
+// Package snapfile writes snapshot files crash-safely.
+//
+// A CSNP snapshot written straight to its destination with os.Create is
+// torn by any crash between the first byte and the final checksum: the
+// loader will reject the file (the CRC catches it), but the previous good
+// snapshot is already gone. snapfile gives the classic atomic-replace
+// discipline instead — temp file in the destination directory, fsync,
+// rename over the target, fsync the directory — so a crash at any point
+// leaves either the complete old file or the complete new one on disk,
+// never a prefix.
+package snapfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Hooks are the package's fault-injection points, nil in production. The
+// chaos suite (internal/faultinject) replaces them to model torn and
+// corrupted writes without OS-level crash machinery.
+type Hooks struct {
+	// TransformPayload, if set, may return altered bytes to be written in
+	// place of the real snapshot (truncations and bit flips for torn-write
+	// tests). Returning the input unchanged makes the write faithful.
+	TransformPayload func([]byte) []byte
+	// BeforeRename, if set, runs after the temp file is synced but before
+	// the rename. Returning an error models a crash at the point where the
+	// destination must still hold its previous content.
+	BeforeRename func(tmpPath string) error
+}
+
+// Write writes src's snapshot bytes to path atomically. hooks vary the
+// behavior for fault-injection tests; pass nil outside tests.
+func Write(path string, src io.WriterTo, hooks ...*Hooks) error {
+	var h *Hooks
+	if len(hooks) > 0 {
+		h = hooks[0]
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapfile: creating temp file: %w", err)
+	}
+	tmpPath := tmp.Name()
+	// Any failure below must not leave the temp file behind; the rename
+	// makes removal fail harmlessly on success.
+	defer os.Remove(tmpPath)
+
+	if err := writeAndSync(tmp, src, h); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapfile: closing temp file: %w", err)
+	}
+	if h != nil && h.BeforeRename != nil {
+		if err := h.BeforeRename(tmpPath); err != nil {
+			return fmt.Errorf("snapfile: injected pre-rename fault: %w", err)
+		}
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("snapfile: renaming into place: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash. Some
+	// filesystems refuse to open directories for writing; opening read-only
+	// is the portable idiom.
+	if d, err := os.Open(dir); err == nil {
+		syncErr := d.Sync()
+		closeErr := d.Close()
+		if syncErr != nil {
+			return fmt.Errorf("snapfile: syncing directory: %w", syncErr)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("snapfile: closing directory: %w", closeErr)
+		}
+	}
+	return nil
+}
+
+// writeAndSync streams src into f (optionally transformed by hooks) and
+// fsyncs it so the bytes are durable before the rename publishes them.
+func writeAndSync(f *os.File, src io.WriterTo, h *Hooks) error {
+	if h != nil && h.TransformPayload != nil {
+		// Buffer the snapshot so the hook can truncate or corrupt it as one
+		// byte slice, the shape torn-write tests need.
+		var buf payloadBuffer
+		if _, err := src.WriteTo(&buf); err != nil {
+			return fmt.Errorf("snapfile: serializing snapshot: %w", err)
+		}
+		if _, err := f.Write(h.TransformPayload(buf.b)); err != nil {
+			return fmt.Errorf("snapfile: writing temp file: %w", err)
+		}
+	} else if _, err := src.WriteTo(f); err != nil {
+		return fmt.Errorf("snapfile: writing temp file: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("snapfile: syncing temp file: %w", err)
+	}
+	return nil
+}
+
+// payloadBuffer is a minimal io.Writer accumulating into one slice.
+type payloadBuffer struct{ b []byte }
+
+func (p *payloadBuffer) Write(b []byte) (int, error) {
+	p.b = append(p.b, b...)
+	return len(b), nil
+}

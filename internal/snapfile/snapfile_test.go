@@ -1,0 +1,180 @@
+package snapfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// bytesWriterTo adapts a byte slice to the io.WriterTo shape snapshots use.
+type bytesWriterTo []byte
+
+func (b bytesWriterTo) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// failingWriterTo errors partway through serialization.
+type failingWriterTo struct{}
+
+var errSerialize = errors.New("serialize boom")
+
+func (failingWriterTo) WriteTo(w io.Writer) (int64, error) {
+	n, _ := w.Write([]byte("partial"))
+	return int64(n), errSerialize
+}
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteCreatesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	payload := []byte("hello snapshot")
+	if err := Write(path, bytesWriterTo(payload)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("file holds %q, want %q", got, payload)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp litter left behind: %v", names)
+	}
+}
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, bytesWriterTo([]byte("new"))); err != nil {
+		t.Fatalf("Write over existing: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("file holds %q after replace", got)
+	}
+}
+
+// TestWriteSerializationFailureLeavesOldFile is the crash-safety contract:
+// if producing the snapshot fails, the destination keeps its previous
+// content and no temp file lingers.
+func TestWriteSerializationFailureLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Write(path, failingWriterTo{})
+	if !errors.Is(err, errSerialize) {
+		t.Fatalf("Write returned %v, want wrapped errSerialize", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old contents" {
+		t.Fatalf("failed write clobbered destination: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "snap.csnp" {
+		t.Fatalf("failed write left litter: %v", names)
+	}
+}
+
+func TestWriteBeforeRenameHookAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("crash")
+	var sawTmp string
+	err := Write(path, bytesWriterTo([]byte("new")), &Hooks{
+		BeforeRename: func(tmpPath string) error {
+			sawTmp = tmpPath
+			return boom
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write returned %v, want wrapped crash error", err)
+	}
+	if filepath.Dir(sawTmp) != dir || !strings.Contains(filepath.Base(sawTmp), "snap.csnp.tmp-") {
+		t.Fatalf("temp file %q not beside destination", sawTmp)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old contents" {
+		t.Fatalf("aborted rename clobbered destination: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("aborted rename left litter: %v", names)
+	}
+}
+
+// TestWriteBeforeRenameSeesDurableBytes checks the hook ordering contract:
+// by the time BeforeRename runs, the temp file is fully written and synced,
+// so a hook can read the complete payload from disk.
+func TestWriteBeforeRenameSeesDurableBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	payload := []byte("durable payload")
+	err := Write(path, bytesWriterTo(payload), &Hooks{
+		BeforeRename: func(tmpPath string) error {
+			got, err := os.ReadFile(tmpPath)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("temp file holds %q before rename, want %q", got, payload)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+func TestWriteTransformPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	err := Write(path, bytesWriterTo([]byte("0123456789")), &Hooks{
+		TransformPayload: func(b []byte) []byte { return b[:4] },
+	})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "0123" {
+		t.Fatalf("transformed write holds %q, want %q", got, "0123")
+	}
+}
+
+func TestWriteNilHooksPointer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.csnp")
+	if err := Write(path, bytesWriterTo([]byte("x")), nil); err != nil {
+		t.Fatalf("Write with explicit nil hooks: %v", err)
+	}
+}
+
+func TestWriteMissingDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "snap.csnp")
+	if err := Write(path, bytesWriterTo([]byte("x"))); err == nil {
+		t.Fatal("Write into missing directory succeeded")
+	}
+}

@@ -155,12 +155,20 @@ func TestShardedCloseIdempotentAndGates(t *testing.T) {
 	if _, err := s.Estimator(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Observe after Close did not panic")
-		}
-	}()
+	// Observe after Close is the documented counted no-op: the packet is
+	// discarded, accounted in DroppedAfterClose, and the sketch is untouched.
 	s.Observe(2)
+	s.ObserveBatch([]FlowID{3, 4, 5})
+	if got := s.NumPackets(); got != 1 {
+		t.Fatalf("NumPackets after post-Close observes = %d, want 1", got)
+	}
+	st := s.Stats()
+	if st.DroppedAfterClose != 4 {
+		t.Fatalf("DroppedAfterClose = %d, want 4", st.DroppedAfterClose)
+	}
+	if st.DroppedPackets != 4 || st.EffectiveLossRate <= 0 {
+		t.Fatalf("loss ledger inconsistent after post-Close observes: %+v", st)
+	}
 }
 
 func TestShardedStatsAggregate(t *testing.T) {

@@ -3,9 +3,11 @@ package caesar
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"github.com/caesar-sketch/caesar/internal/core"
 	"github.com/caesar-sketch/caesar/internal/sketch"
+	"github.com/caesar-sketch/caesar/internal/snapfile"
 )
 
 // This file implements checkpoint/restore for the public API, layered on
@@ -70,6 +72,29 @@ func (s *Sharded) Snapshot(w io.Writer) (int64, error) {
 	for _, sk := range s.shards {
 		e.Section("shrd", sk.s.EncodeState)
 	}
+	// Trailing optional section: the loss ledger and quarantine flags, so a
+	// query process sees the same effective loss rate the construction
+	// process measured. Written last so snapshots remain readable by loaders
+	// that predate it (the section framing ignores trailing payload bytes).
+	e.Section("loss", func(e *sketch.Encoder) {
+		e.U64(s.drops.overflow.Load())
+		e.U64(s.drops.sampled.Load())
+		e.U64(s.drops.quarantine.Load())
+		e.U64(s.drops.timeout.Load())
+		e.U64(s.drops.afterClose.Load())
+		e.U64(s.drops.injected.Load())
+		e.U64(s.drops.batches.Load())
+		perShard := make([]uint64, len(s.shards))
+		down := make([]uint8, len(s.shards))
+		for i := range s.shards {
+			perShard[i] = s.ShardDropped(i)
+			if i < len(s.shardDown) {
+				down[i] = uint8(s.shardDown[i].Load())
+			}
+		}
+		e.U64s(perShard)
+		e.U8s(down)
+	})
 	return sketch.WriteSnapshot(w, shardedAlgoName, e.Bytes())
 }
 
@@ -91,7 +116,14 @@ func ReadShardedSnapshot(r io.Reader) (*Sharded, error) {
 	if n < 1 || n > 1<<20 {
 		return nil, fmt.Errorf("caesar: implausible snapshot shard count %d", n)
 	}
-	s := &Sharded{shards: make([]*Sketch, n), closed: true}
+	s := &Sharded{
+		shards:       make([]*Sketch, n),
+		closed:       true,
+		abort:        make(chan struct{}),
+		shardDropped: make([]atomic.Uint64, n),
+		shardDown:    make([]atomic.Uint32, n),
+		panicReasons: make(map[int]string),
+	}
 	for i := range s.shards {
 		var cs *core.Sketch
 		var shardErr error
@@ -104,8 +136,64 @@ func ReadShardedSnapshot(r io.Reader) (*Sharded, error) {
 		}
 		s.shards[i] = &Sketch{s: cs}
 	}
+	// Optional trailing loss ledger (absent in snapshots written before the
+	// overload-hardening work; those load with a zero ledger).
+	if d.Remaining() > 0 {
+		var perShard []uint64
+		var down []uint8
+		d.Section("loss", func(d *sketch.Decoder) {
+			s.drops.overflow.Store(d.U64())
+			s.drops.sampled.Store(d.U64())
+			s.drops.quarantine.Store(d.U64())
+			s.drops.timeout.Store(d.U64())
+			s.drops.afterClose.Store(d.U64())
+			s.drops.injected.Store(d.U64())
+			s.drops.batches.Store(d.U64())
+			perShard = d.U64s()
+			down = d.U8s()
+		})
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(perShard) != n || len(down) != n {
+			return nil, fmt.Errorf("caesar: snapshot loss section covers %d/%d shards, want %d", len(perShard), len(down), n)
+		}
+		for i := 0; i < n; i++ {
+			s.shardDropped[i].Store(perShard[i])
+			if down[i] > 1 {
+				return nil, fmt.Errorf("caesar: snapshot shard %d has invalid quarantine flag %d", i, down[i])
+			}
+			s.shardDown[i].Store(uint32(down[i]))
+		}
+	}
 	return s, nil
 }
+
+// SnapshotFile writes the sharded snapshot to path crash-safely: the bytes
+// land in a temp file in the same directory, are fsynced, and are renamed
+// over path atomically, so a crash mid-save leaves either the old file or
+// the new one — never a torn CSNP that the loader would reject.
+func (s *Sharded) SnapshotFile(path string) error {
+	return WriteSnapshotFile(path, writerToFunc(s.Snapshot))
+}
+
+// SnapshotFile writes the sketch snapshot (Sketch.WriteTo) to path with the
+// same crash-safe temp-file + fsync + atomic-rename discipline.
+func (sk *Sketch) SnapshotFile(path string) error {
+	return WriteSnapshotFile(path, sk)
+}
+
+// WriteSnapshotFile writes any snapshot source (Sketch, Sharded via
+// SnapshotFile, Window, ...) to path atomically; see internal/snapfile for
+// the crash-safety contract.
+func WriteSnapshotFile(path string, src io.WriterTo) error {
+	return snapfile.Write(path, src)
+}
+
+// writerToFunc adapts a WriteTo-shaped method to io.WriterTo.
+type writerToFunc func(io.Writer) (int64, error)
+
+func (f writerToFunc) WriteTo(w io.Writer) (int64, error) { return f(w) }
 
 // WriteTo serializes the window's sealed epochs. The current, still-
 // ingesting epoch is NOT included — exactly mirroring queries, which cover
