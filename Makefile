@@ -44,17 +44,21 @@ fuzz-smoke:
 snapshot-compat:
 	$(GO) test -run=TestSnapshotGoldenCompat -count=1 ./internal/sketch
 
-# Regenerates the committed perf trajectory (ns/op, allocs/op, shard
-# scaling, batch-size sweep) with 5 repetitions per benchmark. Commit the
-# refreshed BENCH_PR3.json when the ingest path changes intentionally.
+# Regenerates the committed perf trajectories with 5 repetitions per
+# benchmark: the ingest path (ns/op, allocs/op, shard scaling, batch-size
+# sweep → BENCH_PR3.json) and the query path (scalar vs bulk estimation,
+# QueryAll worker scaling → BENCH_PR5.json). Commit the refreshed file(s)
+# when the corresponding path changes intentionally.
 bench-json:
 	$(GO) run ./cmd/caesar-bench -perf -perf-out BENCH_PR3.json -perf-count 5
+	$(GO) run ./cmd/caesar-bench -perf-query -perf-out BENCH_PR5.json -perf-count 5
 
-# Fast perf gate for CI: the hit-path benchmark must not allocate (the
-# deterministic gate is TestSketchObserveZeroAllocs; the bench run also
-# surfaces the ns/op trend in the job log).
+# Fast perf gate for CI: neither hot path may allocate — ingest
+# (TestSketchObserveZeroAllocs) and bulk query (TestEstimateManyZeroAllocs)
+# are deterministic gates; the bench runs also surface the ns/op trend in
+# the job log.
 bench-smoke:
-	$(GO) test -run=TestSketchObserveZeroAllocs -count=1 .
+	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs' -count=1 .
 	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
 
 ci: build vet test race lint chaos fuzz-smoke snapshot-compat bench-smoke

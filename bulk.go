@@ -1,0 +1,193 @@
+package caesar
+
+import (
+	"github.com/caesar-sketch/caesar/internal/bulk"
+	"github.com/caesar-sketch/caesar/internal/core"
+)
+
+// This file is the public face of the bulk query engine (internal/core's
+// EstimateMany/QueryAll): whole-trace estimation as a first-class operation
+// for the plain Estimator, the ShardedEstimator, and the sliding Window.
+//
+// Shared contract, everywhere below: the result has len(flows) with
+// flows[i]'s estimate at index i; dst is reused as backing storage when
+// cap(dst) >= len(flows) (contents overwritten), otherwise a new slice is
+// allocated; and output is bit-identical to the corresponding scalar
+// Estimate loop, for every method and worker count.
+
+func coreMethod(m Method) core.Method {
+	if m == MLM {
+		return core.MLMMethod
+	}
+	return core.CSMMethod
+}
+
+// EstimateMany computes the estimate of every flow in flows by method m —
+// bit-identical to calling Estimate in a loop, but with counter indices
+// generated in blocks, gathers fused with the estimate arithmetic, and the
+// noise and method constants hoisted out of the per-flow loop. With a
+// reused dst the steady state allocates nothing per flow. It reuses the
+// estimator's scratch and is not safe for concurrent use on one estimator;
+// QueryAll handles parallelism.
+func (est *Estimator) EstimateMany(flows []FlowID, m Method, dst []float64) []float64 {
+	return est.e.EstimateMany(flows, coreMethod(m), dst)
+}
+
+// QueryAll is the parallel whole-trace driver: contiguous flow chunks fan
+// out across workers goroutines (workers <= 0 means GOMAXPROCS), each
+// estimating its chunk in bulk and writing results at fixed offsets — so
+// the output is bit-identical to the scalar loop (and to EstimateMany)
+// regardless of worker count.
+func (est *Estimator) QueryAll(flows []FlowID, m Method, workers int, dst []float64) []float64 {
+	return est.e.QueryAll(flows, coreMethod(m), workers, dst)
+}
+
+// EstimateMany computes every flow's estimate with one bulk pass per shard
+// instead of one shard lookup and scalar query per flow: flows are grouped
+// by owning shard (counting sort, so the grouping itself is deterministic
+// and allocation-free in steady state), each shard's estimator runs its
+// bulk engine over its group, and results scatter back to the flows'
+// original positions. Flows owned by an unrecoverable quarantined shard
+// estimate to 0, exactly like Estimate.
+func (e *ShardedEstimator) EstimateMany(flows []FlowID, m Method, dst []float64) []float64 {
+	return e.queryAll(flows, m, 1, dst)
+}
+
+// QueryAll is EstimateMany with the per-shard bulk passes distributed
+// across workers goroutines (workers <= 0 means GOMAXPROCS). Each shard is
+// processed by exactly one worker — shard groups write disjoint result
+// positions — so the output is bit-identical regardless of worker count.
+func (e *ShardedEstimator) QueryAll(flows []FlowID, m Method, workers int, dst []float64) []float64 {
+	return e.queryAll(flows, m, workers, dst)
+}
+
+func (e *ShardedEstimator) queryAll(flows []FlowID, m Method, workers int, dst []float64) []float64 {
+	out := resizeFloats(dst, len(flows))
+	if len(flows) == 0 {
+		return out
+	}
+	n := len(e.ests)
+	if n == 1 {
+		if e.ests[0] == nil {
+			for i := range out {
+				out[i] = 0
+			}
+			return out
+		}
+		return e.ests[0].e.QueryAll(flows, coreMethod(m), workers, out)
+	}
+
+	// Counting sort by owning shard: grpFlows holds the flows grouped by
+	// shard (group s occupying grpFlows[grpOff[s]:grpOff[s+1]]), grpPos the
+	// original position of each grouped flow.
+	off := resizeInts(e.grpOff, n+1)
+	for i := range off {
+		off[i] = 0
+	}
+	for _, f := range flows {
+		off[e.owner.ShardFor(f)+1]++
+	}
+	for s := 0; s < n; s++ {
+		off[s+1] += off[s]
+	}
+	grouped := resizeFlowIDs(e.grpFlows, len(flows))
+	pos := resizeInt32s(e.grpPos, len(flows))
+	vals := resizeFloats(e.grpVals, len(flows))
+	cursor := resizeInts(e.grpCur, n)
+	copy(cursor, off[:n])
+	for i, f := range flows {
+		s := e.owner.ShardFor(f)
+		p := cursor[s]
+		cursor[s] = p + 1
+		grouped[p] = f
+		pos[p] = int32(i)
+	}
+	e.grpOff, e.grpCur, e.grpFlows, e.grpPos, e.grpVals = off, cursor, grouped, pos, vals
+
+	// One bulk pass per shard. Each shard's group writes a disjoint slice of
+	// vals and disjoint positions of out, so shards parallelize safely; a
+	// shard's own estimator (and its scratch) is only ever touched by the
+	// single worker that owns that shard. The single-worker path runs the
+	// shard loop directly — handing a closure to bulk.Do would heap-allocate
+	// it and break the steady-state zero-alloc contract.
+	cm := coreMethod(m)
+	if w := bulk.Workers(workers, n); w <= 1 {
+		e.estimateShards(cm, 0, n, out)
+	} else {
+		bulk.Do(n, w, func(_, s0, s1 int) { e.estimateShards(cm, s0, s1, out) })
+	}
+	return out
+}
+
+// estimateShards runs the bulk pass for shards [s0, s1) against the current
+// grouping scratch, scattering results to their original positions in out.
+func (e *ShardedEstimator) estimateShards(cm core.Method, s0, s1 int, out []float64) {
+	for s := s0; s < s1; s++ {
+		lo, hi := e.grpOff[s], e.grpOff[s+1]
+		if lo == hi {
+			continue
+		}
+		pos := e.grpPos[lo:hi]
+		if e.ests[s] == nil {
+			for _, p := range pos {
+				out[p] = 0
+			}
+			continue
+		}
+		part := e.ests[s].e.EstimateMany(e.grpFlows[lo:hi], cm, e.grpVals[lo:hi])
+		for j, p := range pos {
+			out[p] = part[j]
+		}
+	}
+}
+
+// EstimateMany sums each flow's per-epoch bulk estimates over the sealed
+// epochs, in sealed order — the accumulation order of the scalar Estimate —
+// so the result is bit-identical to calling Estimate in a loop. One scratch
+// slice per call is the only allocation beyond dst.
+func (w *Window) EstimateMany(flows []FlowID, m Method, dst []float64) []float64 {
+	out := resizeFloats(dst, len(flows))
+	for i := range out {
+		out[i] = 0
+	}
+	if len(flows) == 0 {
+		return out
+	}
+	cm := coreMethod(m)
+	scratch := make([]float64, len(flows))
+	for _, e := range w.sealed {
+		scratch = e.e.EstimateMany(flows, cm, scratch)
+		for i, v := range scratch {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func resizeFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+func resizeInts(dst []int, n int) []int {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]int, n)
+}
+
+func resizeInt32s(dst []int32, n int) []int32 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]int32, n)
+}
+
+func resizeFlowIDs(dst []FlowID, n int) []FlowID {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]FlowID, n)
+}

@@ -6,12 +6,15 @@
 //
 //	caesar-bench [-scale small|medium|paper] [-seed N] [-run id[,id...]] [-list] [-json]
 //	caesar-bench -perf [-perf-out BENCH_PR3.json] [-perf-count 5]
+//	caesar-bench -perf-query [-perf-out BENCH_PR5.json] [-perf-count 5]
 //
 // Experiment ids follow the DESIGN.md index (fig3..fig8, tbl-*, abl-*);
 // -list prints them all, -run all (default) runs everything in order, and
 // -json emits one JSON object per experiment for machine consumption.
 // -perf instead runs the ingest-path micro-benchmarks (see perf.go) and
-// writes the machine-readable perf report committed as BENCH_PR3.json.
+// writes the machine-readable perf report committed as BENCH_PR3.json;
+// -perf-query runs the query-path (bulk estimation) benchmarks (see
+// query.go) and writes the report committed as BENCH_PR5.json.
 package main
 
 import (
@@ -33,13 +36,29 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut   = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
 		perf      = flag.Bool("perf", false, "run the ingest-path micro-benchmarks and write a perf report instead of experiments")
-		perfOut   = flag.String("perf-out", "BENCH_PR3.json", "perf report output path (with -perf)")
-		perfCount = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf)")
+		perfQuery = flag.Bool("perf-query", false, "run the query-path micro-benchmarks and write a perf report instead of experiments")
+		perfOut   = flag.String("perf-out", "", "perf report output path (default BENCH_PR3.json with -perf, BENCH_PR5.json with -perf-query)")
+		perfCount = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf/-perf-query)")
 	)
 	flag.Parse()
 
+	if *perf && *perfQuery {
+		fatal(fmt.Errorf("-perf and -perf-query are mutually exclusive"))
+	}
 	if *perf {
-		runPerf(*perfOut, *perfCount)
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_PR3.json"
+		}
+		runPerf(out, *perfCount)
+		return
+	}
+	if *perfQuery {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_PR5.json"
+		}
+		runQueryPerf(out, *perfCount)
 		return
 	}
 

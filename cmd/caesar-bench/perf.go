@@ -29,8 +29,9 @@ type perfBenchmark struct {
 	NsOpRuns []float64 `json:"ns_op_runs"` // every run, for spread inspection
 	AllocsOp int64     `json:"allocs_op"`  // worst of Count runs
 	BytesOp  int64     `json:"bytes_op"`   // worst of Count runs
-	Shards   int     `json:"shards,omitempty"`
-	Batch    int     `json:"batch_size,omitempty"`
+	Shards   int       `json:"shards,omitempty"`
+	Batch    int       `json:"batch_size,omitempty"`
+	Workers  int       `json:"workers,omitempty"` // QueryAll entries (query-perf mode)
 }
 
 // perfReport is the BENCH_PR3.json document.

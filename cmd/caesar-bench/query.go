@@ -1,0 +1,193 @@
+package main
+
+// Query-perf mode: -perf-query runs the offline-estimation micro-benchmarks
+// in-process and writes one machine-readable JSON document (BENCH_PR5.json
+// by default) with the same entry schema as the ingest report: ns/op (best
+// of count), every run for spread inspection, and worst-case allocs. It
+// covers the scalar-vs-bulk pair for both query methods plus the QueryAll
+// worker-scaling curve, and records the bulk-vs-scalar speedup as the
+// headline number.
+//
+// Like perf mode, the harness raises GOMAXPROCS to at least 4 so the
+// worker-scaling curve means something; on a single-CPU container the
+// multi-worker points are measured under timeslicing and understate real
+// multicore scaling, while the bulk-vs-scalar speedup — pure per-flow work
+// reduction — is unaffected.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	caesar "github.com/caesar-sketch/caesar"
+)
+
+// queryPerfReport is the BENCH_PR5.json document.
+type queryPerfReport struct {
+	GoVersion  string          `json:"go_version"`
+	GoMaxProcs int             `json:"gomaxprocs"` // in force during the run
+	NumCPU     int             `json:"num_cpu"`
+	Count      int             `json:"count"` // runs per benchmark
+	Benchmarks []perfBenchmark `json:"benchmarks"`
+	// WorkerScaling is whole-trace QueryAll ns/flow as the worker count
+	// grows (CSM).
+	WorkerScaling []perfBenchmark `json:"worker_scaling"`
+	// SpeedupBulkVsScalar is ns/flow(scalar Estimate loop) / ns/flow(bulk
+	// EstimateMany) for the default CSM method — the headline number for
+	// the bulk query engine. SpeedupBulkVsScalarMLM is the same ratio for
+	// MLM.
+	SpeedupBulkVsScalar    float64 `json:"speedup_bulk_vs_scalar"`
+	SpeedupBulkVsScalarMLM float64 `json:"speedup_bulk_vs_scalar_mlm"`
+}
+
+// queryPerfFlows is the queried flow population per benchmark iteration.
+const queryPerfFlows = 1 << 15
+
+// queryPerfEstimator builds one loaded sketch at the paper-shaped
+// configuration (k=3, non-power-of-two L) and returns its query view plus
+// the flow list the benchmarks sweep.
+func queryPerfEstimator() (*caesar.Estimator, []caesar.FlowID, error) {
+	sk, err := caesar.New(caesar.Config{
+		Counters:      37500, // the paper's 91.55 KB / 20-bit budget; not a power of two
+		CacheEntries:  1 << 12,
+		CacheCapacity: 54,
+		Seed:          1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	flows := make([]caesar.FlowID, queryPerfFlows)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range flows {
+		state = state*6364136223846793005 + 1442695040888963407
+		flows[i] = caesar.FlowID(state)
+	}
+	// Skewed mass: mice plus an elephant every 97th flow.
+	for i, f := range flows {
+		n := 1 + i%7
+		if i%97 == 0 {
+			n = 200
+		}
+		for j := 0; j < n; j++ {
+			sk.Observe(f)
+		}
+	}
+	sk.Flush()
+	est := sk.Estimator()
+	est.SetDistribution(float64(len(flows)), 900)
+	return est, flows, nil
+}
+
+// querySink keeps the scalar benchmark loops from being optimized away.
+var querySink float64
+
+// runQueryPerf executes the query-path suite and writes the report to path.
+func runQueryPerf(path string, count int) {
+	if count < 1 {
+		count = 1
+	}
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	rep := queryPerfReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Count:      count,
+	}
+
+	est, flows, err := queryPerfEstimator()
+	if err != nil {
+		fatal(err)
+	}
+
+	measure := func(name string, workers int, fn func(b *testing.B)) perfBenchmark {
+		p := perfBenchmark{Name: name, Workers: workers}
+		for i := 0; i < count; i++ {
+			r := testing.Benchmark(fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			p.NsOpRuns = append(p.NsOpRuns, ns)
+			if p.NsOp == 0 || ns < p.NsOp {
+				p.NsOp = ns
+			}
+			if a := r.AllocsPerOp(); a > p.AllocsOp {
+				p.AllocsOp = a
+			}
+			if by := r.AllocedBytesPerOp(); by > p.BytesOp {
+				p.BytesOp = by
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-40s %10.2f ns/flow  %d allocs/op\n", name, p.NsOp, p.AllocsOp)
+		return p
+	}
+
+	scalar := func(m caesar.Method) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				querySink = est.Estimate(flows[i%len(flows)], m)
+			}
+		}
+	}
+	// The bulk loops charge b.N flows per pass over the whole list, so
+	// ns/op is directly comparable to the scalar loops' ns/flow.
+	bulk := func(m caesar.Method) func(b *testing.B) {
+		dst := make([]float64, len(flows))
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := b.N; n > 0; n -= len(flows) {
+				est.EstimateMany(flows, m, dst)
+			}
+		}
+	}
+	queryAll := func(m caesar.Method, workers int) func(b *testing.B) {
+		dst := make([]float64, len(flows))
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := b.N; n > 0; n -= len(flows) {
+				est.QueryAll(flows, m, workers, dst)
+			}
+		}
+	}
+
+	scalarCSM := measure("EstimateScalarCSM", 0, scalar(caesar.CSM))
+	manyCSM := measure("EstimateManyCSM", 0, bulk(caesar.CSM))
+	scalarMLM := measure("EstimateScalarMLM", 0, scalar(caesar.MLM))
+	manyMLM := measure("EstimateManyMLM", 0, bulk(caesar.MLM))
+	rep.Benchmarks = append(rep.Benchmarks, scalarCSM, manyCSM, scalarMLM, manyMLM)
+	if manyCSM.NsOp > 0 {
+		rep.SpeedupBulkVsScalar = scalarCSM.NsOp / manyCSM.NsOp
+	}
+	if manyMLM.NsOp > 0 {
+		rep.SpeedupBulkVsScalarMLM = scalarMLM.NsOp / manyMLM.NsOp
+	}
+
+	for _, wkr := range []int{1, 2, 4, 8} {
+		rep.WorkerScaling = append(rep.WorkerScaling, measure(
+			fmt.Sprintf("QueryAll/workers=%d", wkr), wkr, queryAll(caesar.CSM, wkr)))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close() //caesar:ignore errcheck the encode error is already fatal; nothing to add from the failed close
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "perf-query: wrote %s (bulk vs scalar: %.2fx CSM, %.2fx MLM at GOMAXPROCS=%d, %d CPU)\n",
+		path, rep.SpeedupBulkVsScalar, rep.SpeedupBulkVsScalarMLM, rep.GoMaxProcs, rep.NumCPU)
+}

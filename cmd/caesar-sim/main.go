@@ -98,6 +98,10 @@ func main() {
 	}
 
 	fmt.Printf("trace: %s\n", tr.Summarize())
+	// One deterministically sorted flow list drives every query phase below
+	// (Truth is a map; iterating it would query in a different order every
+	// run) — the bulk EstimateMany/QueryAll paths take it wholesale.
+	flows := sortedFlows(tr)
 	var pts []stats.EstimatePoint
 	switch *scheme {
 	case "caesar":
@@ -122,9 +126,7 @@ func main() {
 		if *method == "mlm" {
 			m = core.MLMMethod
 		}
-		for id, actual := range tr.Truth {
-			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.Estimate(id, m)})
-		}
+		pts = collectPoints(tr, flows, e.QueryAll(flows, m, 0, nil))
 		cfg := s.Config()
 		cs := s.CacheStats()
 		fmt.Printf("caesar: L=%d M=%d y=%d hits=%d misses=%d evictions=%d+%d+%d sramWrites=%d\n",
@@ -144,12 +146,13 @@ func main() {
 		}
 		saveSnapshot(*savePath, s)
 		e := s.Estimator()
-		for id, actual := range tr.Truth {
-			if *method == "mlm" {
-				pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.MLM(id)})
-			} else {
-				pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: e.CSM(id)})
+		if *method == "mlm" {
+			// RCS-MLM is a deliberate slow search (no bulk path): scalar loop.
+			for _, id := range flows {
+				pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: e.MLM(id)})
 			}
+		} else {
+			pts = collectPoints(tr, flows, e.QueryAll(flows, 0, nil))
 		}
 		fmt.Printf("rcs: L=%d recorded=%d dropped=%d (loss %.3f)\n",
 			s.Config().L, s.Recorded(), s.Dropped(), float64(s.Dropped())/float64(tr.NumPackets()))
@@ -170,9 +173,7 @@ func main() {
 			s.Flush()
 		}
 		saveSnapshot(*savePath, s)
-		for id, actual := range tr.Truth {
-			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(id)})
-		}
+		pts = collectPoints(tr, flows, s.EstimateMany(flows, nil))
 		fmt.Printf("case: L=%d bits=%d maxRepresentable=%.1f powOps=%d sramWrites=%d\n",
 			s.Config().L, s.Config().CounterBits, s.MaxRepresentable(), s.PowOps(), s.SRAMWrites())
 	case "vhc":
@@ -188,14 +189,7 @@ func main() {
 			s.Flush()
 		}
 		saveSnapshot(*savePath, s)
-		flows := make([]hashing.FlowID, 0, q)
-		for id := range tr.Truth {
-			flows = append(flows, id)
-		}
-		ests := s.EstimateMany(flows)
-		for i, id := range flows {
-			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: ests[i]})
-		}
+		pts = collectPoints(tr, flows, s.EstimateMany(flows, nil))
 		fmt.Printf("vhc: m=%d s=%d saturations=%d (%.2f KB)\n",
 			s.Config().Registers, s.Config().S, s.Saturations(), s.MemoryKB())
 	case "braids":
@@ -209,17 +203,10 @@ func main() {
 			fatal(err)
 		}
 		observeTrace(tr, s)
-		flows := make([]hashing.FlowID, 0, q)
-		for id := range tr.Truth {
-			flows = append(flows, id)
-		}
-		// The MP decoder is sensitive to flow order; sort so repeated runs
-		// print identical results.
-		slices.Sort(flows)
+		// The MP decoder is sensitive to flow order; the shared sorted list
+		// keeps repeated runs printing identical results.
 		res := s.Decode(flows, 40)
-		for i, id := range flows {
-			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: res.Estimates[i]})
-		}
+		pts = collectPoints(tr, flows, res.Estimates)
 		fmt.Printf("braids: l1=%d l2=%d converged=%v iters=%d (%.2f KB)\n",
 			*l, *l/8, res.Converged, res.Iterations, s.MemoryKB())
 	case "sampling":
@@ -235,8 +222,8 @@ func main() {
 			fatal(err)
 		}
 		observeTrace(tr, s)
-		for id, actual := range tr.Truth {
-			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(id)})
+		for _, id := range flows {
+			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[id], Estimated: s.Estimate(id)})
 		}
 		fmt.Printf("sampling: rate=%.4f sampled=%d tableKB=%.1f\n",
 			rate, s.Sampled(), s.MemoryKB())
@@ -248,6 +235,26 @@ func main() {
 	fmt.Println(expt.Table(expt.AccuracyRows([]expt.Accuracy{acc})))
 	fmt.Println("error vs actual flow size:")
 	fmt.Println(expt.Table(expt.BucketRows(acc)))
+}
+
+// sortedFlows materializes the trace's ground-truth flow set in ascending
+// flow-ID order — the single deterministic query order for every scheme.
+func sortedFlows(tr *trace.Trace) []hashing.FlowID {
+	flows := make([]hashing.FlowID, 0, tr.NumFlows())
+	for id := range tr.Truth {
+		flows = append(flows, id)
+	}
+	slices.Sort(flows)
+	return flows
+}
+
+// collectPoints pairs each flow's bulk estimate with its ground truth.
+func collectPoints(tr *trace.Trace, flows []hashing.FlowID, ests []float64) []stats.EstimatePoint {
+	pts := make([]stats.EstimatePoint, len(flows))
+	for i, id := range flows {
+		pts[i] = stats.EstimatePoint{Actual: tr.Truth[id], Estimated: ests[i]}
+	}
+	return pts
 }
 
 // observeTrace drives every packet of the trace through a scheme's ingest

@@ -1,0 +1,56 @@
+// Package bulk provides the deterministic fan-out primitive behind the
+// offline query engine: a fixed contiguous partition of n items across w
+// workers. Every layer that parallelizes whole-trace estimation (core,
+// sharded, the expt runners) uses the same partition, so results land at
+// fixed offsets and output is bit-identical regardless of worker count.
+package bulk
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: requested <= 0 means
+// GOMAXPROCS, and the result never exceeds items (an empty chunk is wasted
+// goroutine startup).
+func Workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Do partitions [0, items) into workers contiguous chunks — chunk i is
+// [i*items/workers, (i+1)*items/workers) — and runs fn(worker, start, end)
+// concurrently, one chunk per goroutine. The partition depends only on
+// (items, workers), never on scheduling, which is what makes fixed-offset
+// result writes deterministic. workers <= 1 runs fn inline.
+func Do(items, workers int, fn func(worker, start, end int)) {
+	if items <= 0 {
+		return
+	}
+	if workers <= 1 {
+		fn(0, 0, items)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		start := w * items / workers
+		end := (w + 1) * items / workers
+		go func(w, start, end int) {
+			defer wg.Done()
+			if start < end {
+				fn(w, start, end)
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+}

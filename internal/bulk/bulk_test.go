@@ -1,0 +1,76 @@
+package bulk
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	gomax := runtime.GOMAXPROCS(0)
+	cases := []struct{ req, items, want int }{
+		{0, 100, gomax},
+		{-3, 100, gomax},
+		{4, 100, 4},
+		{8, 3, 3},
+		{4, 0, 1},
+		{1, 100, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.req, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.req, c.items, got, c.want)
+		}
+	}
+}
+
+func TestDoCoversEveryItemExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 100} {
+		for _, items := range []int{0, 1, 2, 7, 100, 1001} {
+			hits := make([]int32, items)
+			Do(items, workers, func(_, start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d items=%d: item %d visited %d times", workers, items, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoPartitionIsDeterministic(t *testing.T) {
+	// The chunk boundaries must be a pure function of (items, workers).
+	record := func() [][2]int {
+		var mu [64][2]int
+		Do(10, 4, func(w, start, end int) { mu[w] = [2]int{start, end} })
+		return [][2]int{mu[0], mu[1], mu[2], mu[3]}
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("partition changed between runs: %v vs %v", a, b)
+		}
+	}
+	want := [][2]int{{0, 2}, {2, 5}, {5, 7}, {7, 10}}
+	for i := range want {
+		if a[i] != [2]int{want[i][0], want[i][1]} {
+			t.Fatalf("partition %v, want %v", a, want)
+		}
+	}
+}
+
+func TestDoInlineWhenSingleWorker(t *testing.T) {
+	var calls int // no atomics: workers=1 must run on the calling goroutine
+	Do(5, 1, func(w, start, end int) {
+		if w != 0 || start != 0 || end != 5 {
+			t.Fatalf("inline call got (%d, %d, %d)", w, start, end)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("inline path ran %d times", calls)
+	}
+}

@@ -152,6 +152,30 @@ func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
 	return s.scale.Value(s.codes[idx])
 }
 
+// EstimateMany is the bulk query entry point in the shared shape of the
+// query engine: flows[i]'s estimate lands at index i of the result, which
+// reuses dst when it has capacity. Each flow runs exactly the scalar
+// Estimate lookup-and-decode, so the output is bit-identical to the loop;
+// the bulk form exists so generic whole-trace drivers treat CASE like every
+// other scheme.
+func (s *Sketch) EstimateMany(flows []hashing.FlowID, dst []float64) []float64 {
+	out := dst
+	if cap(out) >= len(flows) {
+		out = out[:len(flows)]
+	} else {
+		out = make([]float64, len(flows))
+	}
+	for i, f := range flows {
+		idx, ok := s.assign[f]
+		if !ok {
+			out[i] = 0
+			continue
+		}
+		out[i] = s.scale.Value(s.codes[idx])
+	}
+	return out
+}
+
 // NumPackets returns the packets observed.
 func (s *Sketch) NumPackets() uint64 { return uint64(s.cache.Stats().Packets) }
 

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+
+	"github.com/caesar-sketch/caesar/internal/bulk"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/stats"
+)
+
+// queryBlock is the number of flows whose counter indices are generated per
+// SelectBlock call in the bulk path. Large enough to amortize the block
+// bookkeeping and give the gather loop a long run, small enough that the
+// k*queryBlock index scratch stays L1-resident.
+const queryBlock = 256
+
+// EstimateMany computes the estimate of every flow in flows by method m,
+// bit-identical to calling Estimate(flow, m) in a loop but substantially
+// faster: counter indices are generated in blocks, counters are gathered and
+// summed in one fused pass, and the k·Qμ/L noise term and the MLM constants
+// are hoisted out of the per-flow loop.
+//
+// The result has len(flows), with flows[i]'s estimate at index i. dst is
+// used as backing storage when cap(dst) >= len(flows) (its previous contents
+// are overwritten); otherwise a new slice is allocated. With a reused dst
+// the steady state performs zero allocations per flow — the index scratch
+// lives on the estimator and is grown once.
+//
+// EstimateMany reuses the estimator's scratch buffers and is therefore not
+// safe for concurrent use on one estimator; QueryAll forks per-worker views
+// for that.
+func (e *Estimator) EstimateMany(flows []hashing.FlowID, m Method, dst []float64) []float64 {
+	out := resizeFloats(dst, len(flows))
+	switch m {
+	case MLMMethod:
+		e.estimateManyMLM(flows, out)
+	default:
+		e.estimateManyCSM(flows, out)
+	}
+	return out
+}
+
+func (e *Estimator) estimateManyCSM(flows []hashing.FlowID, out []float64) {
+	noise := e.aggregateNoise()
+	k := e.K
+	vals := e.sram.Values()
+	for start := 0; start < len(flows); start += queryBlock {
+		end := min(start+queryBlock, len(flows))
+		blk := flows[start:end]
+		e.idxBuf = e.sel.SelectBlock(blk, e.idxBuf[:0])
+		idx := e.idxBuf
+		if k == 3 {
+			// The paper's operating point; unrolling the gather keeps the
+			// three loads independent for the memory pipeline.
+			for i := range blk {
+				o := i * 3
+				sum := vals[idx[o]] + vals[idx[o+1]] + vals[idx[o+2]]
+				out[start+i] = float64(sum) - noise
+			}
+			continue
+		}
+		for i := range blk {
+			var sum uint64
+			for _, ix := range idx[i*k : (i+1)*k] {
+				sum += vals[ix]
+			}
+			out[start+i] = float64(sum) - noise
+		}
+	}
+}
+
+func (e *Estimator) estimateManyMLM(flows []hashing.FlowID, out []float64) {
+	noise := e.aggregateNoise()
+	k := e.K
+	kf := float64(e.K)
+	y := float64(e.Y)
+	// Hoisted MLM constants, evaluated with exactly the associativity of the
+	// scalar MLM expression so the per-flow result is bit-identical:
+	// disc = km1sq*km1sq/(y*y) + (4*k)*sumSq, x̂ = 0.5*(√disc − km1sq/y) − noise.
+	km1sq := (kf - 1) * (kf - 1)
+	discConst := km1sq * km1sq / (y * y)
+	k4 := 4 * kf
+	sub := km1sq / y
+	vals := e.sram.Values()
+	for start := 0; start < len(flows); start += queryBlock {
+		end := min(start+queryBlock, len(flows))
+		blk := flows[start:end]
+		e.idxBuf = e.sel.SelectBlock(blk, e.idxBuf[:0])
+		idx := e.idxBuf
+		if k == 3 {
+			// Unrolled gather, accumulated in the same order as the scalar
+			// loop (w0² then w1² then w2²) so the sum is bit-identical.
+			for i := range blk {
+				o := i * 3
+				f0 := float64(vals[idx[o]])
+				f1 := float64(vals[idx[o+1]])
+				f2 := float64(vals[idx[o+2]])
+				sumSq := f0*f0 + f1*f1 + f2*f2
+				disc := discConst + k4*sumSq
+				out[start+i] = 0.5*(math.Sqrt(disc)-sub) - noise
+			}
+			continue
+		}
+		for i := range blk {
+			var sumSq float64
+			for _, ix := range idx[i*k : (i+1)*k] {
+				fw := float64(vals[ix])
+				sumSq += fw * fw
+			}
+			disc := discConst + k4*sumSq
+			out[start+i] = 0.5*(math.Sqrt(disc)-sub) - noise
+		}
+	}
+}
+
+// EstimateManyWithIntervals is EstimateMany plus the method's
+// reliability-alpha confidence interval per flow, bit-identical to calling
+// CSMInterval/MLMInterval in a loop (the z quantile is hoisted; the interval
+// arithmetic is shared with the scalar path). dst and ivDst follow
+// EstimateMany's reuse contract.
+func (e *Estimator) EstimateManyWithIntervals(flows []hashing.FlowID, m Method, alpha float64, dst []float64, ivDst []stats.Interval) ([]float64, []stats.Interval) {
+	out := e.EstimateMany(flows, m, dst)
+	ivs := resizeIntervals(ivDst, len(flows))
+	z := stats.ZAlpha(alpha)
+	switch m {
+	case MLMMethod:
+		for i, est := range out {
+			ivs[i] = e.mlmIntervalAt(est, z)
+		}
+	default:
+		for i, est := range out {
+			ivs[i] = e.csmIntervalAt(est, z)
+		}
+	}
+	return out, ivs
+}
+
+// Fork returns an independent query view over the same selector and counter
+// array: shared read-only state, private scratch. QueryAll gives each worker
+// a fork so concurrent bulk queries never race on the scratch buffers.
+func (e *Estimator) Fork() *Estimator {
+	c := *e
+	c.idxBuf = nil
+	c.valBuf = nil
+	return &c
+}
+
+// QueryAll is the parallel whole-trace driver: it fans contiguous flow
+// chunks across workers goroutines (workers <= 0 means GOMAXPROCS), each
+// running the bulk EstimateMany over its chunk with a private fork and
+// writing results at fixed offsets. The output is therefore bit-identical to
+// the scalar loop — and to EstimateMany — regardless of worker count.
+func (e *Estimator) QueryAll(flows []hashing.FlowID, m Method, workers int, dst []float64) []float64 {
+	out := resizeFloats(dst, len(flows))
+	w := bulk.Workers(workers, len(flows))
+	if w <= 1 {
+		return e.EstimateMany(flows, m, out)
+	}
+	bulk.Do(len(flows), w, func(_, start, end int) {
+		e.Fork().EstimateMany(flows[start:end], m, out[start:end])
+	})
+	return out
+}
+
+// resizeFloats returns a len-n view of dst when its capacity allows,
+// otherwise a fresh slice. Contents are meant to be overwritten.
+func resizeFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+func resizeIntervals(dst []stats.Interval, n int) []stats.Interval {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]stats.Interval, n)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// bulkTestEstimator builds a flushed sketch over a synthetic workload and
+// returns its estimator plus the distinct flows observed.
+func bulkTestEstimator(t testing.TB) (*Estimator, []hashing.FlowID) {
+	t.Helper()
+	s, err := New(Config{
+		K: 3, L: 3699, CounterBits: 20,
+		CacheEntries: 1 << 10, CacheCapacity: 54, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const numFlows = 4096
+	flows := make([]hashing.FlowID, numFlows)
+	p := hashing.NewPRNG(7)
+	for i := range flows {
+		flows[i] = hashing.FlowID(p.Next())
+	}
+	// Skewed sizes: a few heavy flows, a long tail of small ones.
+	for i, f := range flows {
+		n := 1 + i%7
+		if i%97 == 0 {
+			n = 500
+		}
+		for j := 0; j < n; j++ {
+			s.Observe(f)
+		}
+	}
+	e := s.Estimator()
+	e.Q = float64(numFlows)
+	e.SizeSecondMoment = 900
+	return e, flows
+}
+
+func TestEstimateManyBitIdentical(t *testing.T) {
+	e, flows := bulkTestEstimator(t)
+	for _, m := range []Method{CSMMethod, MLMMethod} {
+		want := make([]float64, len(flows))
+		for i, f := range flows {
+			want[i] = e.Estimate(f, m)
+		}
+		got := e.EstimateMany(flows, m, nil)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%v: EstimateMany[%d] = %v (%#x), scalar = %v (%#x)",
+					m, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+func TestQueryAllWorkerCountInvariance(t *testing.T) {
+	e, flows := bulkTestEstimator(t)
+	for _, m := range []Method{CSMMethod, MLMMethod} {
+		want := make([]float64, len(flows))
+		for i, f := range flows {
+			want[i] = e.Estimate(f, m)
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 0, 13} {
+			got := e.QueryAll(flows, m, workers, nil)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v workers=%d: QueryAll[%d] = %v, scalar = %v",
+						m, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateManyWithIntervalsBitIdentical(t *testing.T) {
+	e, flows := bulkTestEstimator(t)
+	const alpha = 0.95
+	for _, m := range []Method{CSMMethod, MLMMethod} {
+		ests, ivs := e.EstimateManyWithIntervals(flows, m, alpha, nil, nil)
+		for i, f := range flows {
+			var wantEst float64
+			var wantIv = ivs[i]
+			switch m {
+			case MLMMethod:
+				wantEst, wantIv = e.MLMInterval(f, alpha)
+			default:
+				wantEst, wantIv = e.CSMInterval(f, alpha)
+			}
+			if math.Float64bits(ests[i]) != math.Float64bits(wantEst) ||
+				math.Float64bits(ivs[i].Lo) != math.Float64bits(wantIv.Lo) ||
+				math.Float64bits(ivs[i].Hi) != math.Float64bits(wantIv.Hi) {
+				t.Fatalf("%v: bulk interval[%d] = (%v, %+v), scalar = (%v, %+v)",
+					m, i, ests[i], ivs[i], wantEst, wantIv)
+			}
+		}
+	}
+}
+
+func TestEstimateManyReusesDst(t *testing.T) {
+	e, flows := bulkTestEstimator(t)
+	dst := make([]float64, 0, len(flows))
+	out := e.EstimateMany(flows, CSMMethod, dst)
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("EstimateMany did not reuse dst backing storage")
+	}
+	if len(out) != len(flows) {
+		t.Fatalf("EstimateMany returned len %d, want %d", len(out), len(flows))
+	}
+}
+
+func TestEstimateManyZeroAllocsSteadyState(t *testing.T) {
+	e, flows := bulkTestEstimator(t)
+	dst := make([]float64, len(flows))
+	for _, m := range []Method{CSMMethod, MLMMethod} {
+		e.EstimateMany(flows, m, dst) // warm the index scratch
+		if allocs := testing.AllocsPerRun(20, func() {
+			e.EstimateMany(flows, m, dst)
+		}); allocs != 0 {
+			t.Fatalf("%v: EstimateMany allocated %.1f times per run in steady state", m, allocs)
+		}
+	}
+}
+
+func TestForkIsIndependent(t *testing.T) {
+	e, flows := bulkTestEstimator(t)
+	f := e.Fork()
+	// Growing the fork's scratch must not disturb the parent's.
+	f.EstimateMany(flows, CSMMethod, nil)
+	a := e.Estimate(flows[0], CSMMethod)
+	b := f.Estimate(flows[0], CSMMethod)
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("fork estimate %v != parent %v", b, a)
+	}
+	if f.Q != e.Q || f.SizeSecondMoment != e.SizeSecondMoment {
+		t.Fatal("fork did not copy distribution knowledge")
+	}
+}
+
+func TestSketchEstimateManyMatchesEstimate(t *testing.T) {
+	s, err := New(Config{K: 3, L: 739, CounterBits: 20,
+		CacheEntries: 256, CacheCapacity: 54, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]hashing.FlowID, 512)
+	p := hashing.NewPRNG(11)
+	for i := range flows {
+		flows[i] = hashing.FlowID(p.Next())
+		for j := 0; j <= i%5; j++ {
+			s.Observe(flows[i])
+		}
+	}
+	got := s.EstimateMany(flows, nil)
+	for i, f := range flows {
+		want := s.Estimate(f)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("Sketch.EstimateMany[%d] = %v, Estimate = %v", i, got[i], want)
+		}
+	}
+}
+
+func BenchmarkEstimateScalarCSM(b *testing.B) {
+	e, flows := bulkTestEstimator(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Estimate(flows[i%len(flows)], CSMMethod)
+	}
+}
+
+func BenchmarkEstimateManyCSM(b *testing.B) {
+	e, flows := bulkTestEstimator(b)
+	dst := make([]float64, len(flows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; n -= len(flows) {
+		blk := flows
+		if n < len(flows) {
+			blk = flows[:n]
+		}
+		e.EstimateMany(blk, CSMMethod, dst)
+	}
+}
+
+func BenchmarkEstimateScalarMLM(b *testing.B) {
+	e, flows := bulkTestEstimator(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Estimate(flows[i%len(flows)], MLMMethod)
+	}
+}
+
+func BenchmarkEstimateManyMLM(b *testing.B) {
+	e, flows := bulkTestEstimator(b)
+	dst := make([]float64, len(flows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; n -= len(flows) {
+		blk := flows
+		if n < len(flows) {
+			blk = flows[:n]
+		}
+		e.EstimateMany(blk, MLMMethod, dst)
+	}
+}

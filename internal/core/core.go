@@ -201,6 +201,11 @@ func (s *Sketch) Flush() {
 	}
 	s.cache.Flush()
 	s.flushed = true
+	// The cache dump changed the counters; drop any cached query view. (A
+	// view cannot exist before the first Flush — Estimator() flushes before
+	// building one — but the invariant "every counter/mass mutation
+	// invalidates s.est" is cheap to keep unconditional.)
+	s.est = nil
 }
 
 // NumPackets returns n, the number of packets observed so far (including
@@ -249,6 +254,18 @@ func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
 		s.est = s.Estimator()
 	}
 	return s.est.CSM(flow)
+}
+
+// EstimateMany is the bulk counterpart of Estimate: the default CSM query
+// for every flow in flows, written to out[i] for flows[i]. It shares the
+// cached query view with Estimate (and the same invalidation rules: Flush,
+// MergeSRAM, and snapshot ReadFrom all drop it). dst is reused when it has
+// capacity; see Estimator.EstimateMany for the exact contract.
+func (s *Sketch) EstimateMany(flows []hashing.FlowID, dst []float64) []float64 {
+	if s.est == nil {
+		s.est = s.Estimator()
+	}
+	return s.est.EstimateMany(flows, CSMMethod, dst)
 }
 
 // Estimator returns the query-phase view over this sketch's SRAM. It
@@ -433,8 +450,15 @@ func (e *Estimator) VarMLM(x float64) float64 {
 // variance is included; otherwise this is the paper's interval verbatim.
 func (e *Estimator) CSMInterval(flow hashing.FlowID, alpha float64) (float64, stats.Interval) {
 	est := e.CSM(flow)
-	half := stats.ZAlpha(alpha) * math.Sqrt(e.FullVarCSM(math.Max(est, 0)))
-	return est, stats.Interval{Lo: est - half, Hi: est + half}
+	return est, e.csmIntervalAt(est, stats.ZAlpha(alpha))
+}
+
+// csmIntervalAt widens a CSM estimate into its confidence interval given a
+// precomputed z quantile. Shared by the scalar and bulk interval paths so
+// they are bit-identical by construction.
+func (e *Estimator) csmIntervalAt(est, z float64) stats.Interval {
+	half := z * math.Sqrt(e.FullVarCSM(math.Max(est, 0)))
+	return stats.Interval{Lo: est - half, Hi: est + half}
 }
 
 // MLMInterval returns the MLM estimate with its reliability-alpha
@@ -442,9 +466,14 @@ func (e *Estimator) CSMInterval(flow hashing.FlowID, alpha float64) (float64, st
 // when distribution knowledge is configured.
 func (e *Estimator) MLMInterval(flow hashing.FlowID, alpha float64) (float64, stats.Interval) {
 	est := e.MLM(flow)
+	return est, e.mlmIntervalAt(est, stats.ZAlpha(alpha))
+}
+
+// mlmIntervalAt is csmIntervalAt's MLM counterpart.
+func (e *Estimator) mlmIntervalAt(est, z float64) stats.Interval {
 	v := e.VarMLM(math.Max(est, 0)) + float64(e.K)*e.membershipVarPerCounter()
-	half := stats.ZAlpha(alpha) * math.Sqrt(v)
-	return est, stats.Interval{Lo: est - half, Hi: est + half}
+	half := z * math.Sqrt(v)
+	return stats.Interval{Lo: est - half, Hi: est + half}
 }
 
 // Method selects a query-phase estimation method.

@@ -139,6 +139,12 @@ func (a *Array) SubSRAM(idx []uint32, dst []uint64) []uint64 {
 	return dst
 }
 
+// Values exposes the underlying counter slice for read-only bulk gathers
+// (the offline query engine sums millions of sub-SRAMs and cannot afford a
+// method call per counter read). The slice is shared, not a copy: callers
+// must not modify it.
+func (a *Array) Values() []uint64 { return a.vals }
+
 // MemoryKB returns the paper's SRAM size accounting for this array:
 // L * log2(l) / (1024*8) KB, where log2(l) is the counter width in bits.
 func (a *Array) MemoryKB() float64 {

@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 	"math"
-	"slices"
 
 	"github.com/caesar-sketch/caesar/internal/braids"
 	"github.com/caesar-sketch/caesar/internal/cache"
@@ -111,12 +110,25 @@ type batchObserver interface {
 // ingestChunk is the staging-buffer size of ingest's batch fast path.
 const ingestChunk = 1024
 
-// collect queries est for every flow in the trace's ground truth and pairs
-// each estimate with the actual size.
+// collect queries est for every flow in the trace's ground truth — in the
+// workload's deterministic flow order, never map order — and pairs each
+// estimate with the actual size.
 func collect(w *Workload, est func(hashing.FlowID) float64) []stats.EstimatePoint {
-	pts := make([]stats.EstimatePoint, 0, w.Trace.NumFlows())
-	for id, actual := range w.Trace.Truth {
-		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: est(id)})
+	pts := make([]stats.EstimatePoint, len(w.flows))
+	for i, id := range w.flows {
+		pts[i] = stats.EstimatePoint{Actual: w.Trace.Truth[id], Estimated: est(id)}
+	}
+	return pts
+}
+
+// collectMany is collect's bulk counterpart: est receives the whole flow
+// list at once (same deterministic order, dst-reuse contract of the
+// EstimateMany family) and returns one estimate per flow.
+func collectMany(w *Workload, est func([]hashing.FlowID, []float64) []float64) []stats.EstimatePoint {
+	vals := est(w.flows, nil)
+	pts := make([]stats.EstimatePoint, len(w.flows))
+	for i, id := range w.flows {
+		pts[i] = stats.EstimatePoint{Actual: w.Trace.Truth[id], Estimated: vals[i]}
 	}
 	return pts
 }
@@ -140,7 +152,9 @@ func runCAESAR(w *Workload, policy cache.Policy, method core.Method, k int, l in
 	e := s.Estimator()
 	e.Q = float64(w.Trace.NumFlows())
 	e.SizeSecondMoment = w.SecondMoment()
-	pts := collect(w, func(id hashing.FlowID) float64 { return e.Estimate(id, method) })
+	pts := collectMany(w, func(flows []hashing.FlowID, dst []float64) []float64 {
+		return e.QueryAll(flows, method, 0, dst)
+	})
 	return pts, s, nil
 }
 
@@ -159,7 +173,9 @@ func runRCS(w *Workload, lossRate float64, l int) ([]stats.EstimatePoint, *rcs.S
 	}
 	ingest(w, s)
 	e := s.Estimator()
-	return collect(w, e.CSM), s, nil
+	return collectMany(w, func(flows []hashing.FlowID, dst []float64) []float64 {
+		return e.QueryAll(flows, 0, dst)
+	}), s, nil
 }
 
 // runCASE constructs and queries CASE under an SRAM budget in KB: the
@@ -183,7 +199,7 @@ func runCASE(w *Workload, budgetKB float64) ([]stats.EstimatePoint, *caseest.Ske
 		return nil, nil, err
 	}
 	ingest(w, s)
-	return collect(w, s.Estimate), s, nil
+	return collectMany(w, s.EstimateMany), s, nil
 }
 
 func (w *Workload) largeCut() float64 { return 10 * w.Trace.MeanFlowSize() }
@@ -455,14 +471,12 @@ func TableCICoverage(w *Workload) (*Report, error) {
 				e.Q = float64(w.Trace.NumFlows())
 				e.SizeSecondMoment = w.SecondMoment()
 			}
-			var ivs []stats.Interval
-			var truths []float64
+			_, ivs := (&e).EstimateManyWithIntervals(w.flows, core.CSMMethod, alpha, nil, nil)
+			truths := make([]float64, len(w.flows))
 			var width float64
-			for id, actual := range w.Trace.Truth {
-				_, iv := e.CSMInterval(id, alpha)
-				ivs = append(ivs, iv)
-				truths = append(truths, float64(actual))
-				width += iv.Width()
+			for i, id := range w.flows {
+				truths[i] = float64(w.Trace.Truth[id])
+				width += ivs[i].Width()
 			}
 			name := "paper (Eq. 26)"
 			if full {
@@ -557,13 +571,9 @@ func AblationCompress(w *Workload) (*Report, error) {
 // gracefully all the way down to fractions of a bit per flow.
 func AblationBraids(w *Workload) (*Report, error) {
 	q := w.Trace.NumFlows()
-	ids := make([]hashing.FlowID, 0, q)
-	for id := range w.Trace.Truth {
-		ids = append(ids, id)
-	}
-	// The MP decoder's fixed-point iteration is sensitive to flow order, and
-	// Truth is a map: sort so the report is identical run to run.
-	slices.Sort(ids)
+	// The MP decoder's fixed-point iteration is sensitive to flow order:
+	// use the workload's deterministic sorted flow list.
+	ids := w.Flows()
 	rows := [][]string{{
 		"bits/flow", "CB exact", "CB ARE(elephant)", "CAESAR ARE(elephant)",
 	}}
@@ -632,11 +642,7 @@ func AblationBraids(w *Workload) (*Report, error) {
 // flow table within CAESAR's SRAM budget, sampling misses most mice flows
 // entirely and its surviving estimates carry 1/p-scaled binomial noise.
 func AblationSampling(w *Workload) (*Report, error) {
-	q := w.Trace.NumFlows()
-	flows := make([]hashing.FlowID, 0, q)
-	for id := range w.Trace.Truth {
-		flows = append(flows, id)
-	}
+	flows := w.Flows()
 	// CAESAR reference at the paper budget.
 	caesarPts, _, err := runCAESAR(w, cache.LRU, core.CSMMethod, K, w.L, w.Y, w.M)
 	if err != nil {
@@ -680,10 +686,7 @@ func AblationSampling(w *Workload) (*Report, error) {
 // counters per byte but add compression noise on top of sharing noise.
 func AblationVHC(w *Workload) (*Report, error) {
 	budgetBits := w.SRAMKB * 8192
-	flows := make([]hashing.FlowID, 0, w.Trace.NumFlows())
-	for id := range w.Trace.Truth {
-		flows = append(flows, id)
-	}
+	flows := w.Flows()
 
 	var accs []Accuracy
 	// VHC at the budget: 5-bit registers.
@@ -695,7 +698,7 @@ func AblationVHC(w *Workload) (*Report, error) {
 		return nil, err
 	}
 	ingest(w, v)
-	ests := v.EstimateMany(flows)
+	ests := v.EstimateMany(flows, nil)
 	pts := make([]stats.EstimatePoint, len(flows))
 	for i, id := range flows {
 		pts[i] = stats.EstimatePoint{Actual: w.Trace.Truth[id], Estimated: ests[i]}
@@ -1026,7 +1029,9 @@ func runLossyCAESAR(w *Workload, lossRate float64) (lossyRun, error) {
 	}
 	s.Flush()
 	e := s.Estimator()
-	pts := collect(w, func(id hashing.FlowID) float64 { return e.Estimate(id, core.CSMMethod) })
+	pts := collectMany(w, func(flows []hashing.FlowID, dst []float64) []float64 {
+		return e.QueryAll(flows, core.CSMMethod, 0, dst)
+	})
 	rho := 0.0
 	if dropped > 0 {
 		rho = float64(dropped) / float64(dropped+recorded)

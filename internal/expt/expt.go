@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/caesar-sketch/caesar/internal/dist"
+	"github.com/caesar-sketch/caesar/internal/hashing"
 	"github.com/caesar-sketch/caesar/internal/stats"
 	"github.com/caesar-sketch/caesar/internal/trace"
 )
@@ -92,7 +93,18 @@ type Workload struct {
 	L int
 	// CacheKB and SRAMKB are the scaled budgets themselves.
 	CacheKB, SRAMKB float64
+
+	// flows is the trace's ground-truth flow set in ascending flow-ID
+	// order, materialized once at build time. Truth is a map, so iterating
+	// it directly would query (and sum floating-point metrics) in a
+	// different order every run; every query loop — scalar and bulk — walks
+	// this list instead.
+	flows []hashing.FlowID
 }
+
+// Flows returns the trace's flows in ascending flow-ID order — the one
+// query order shared by every experiment. Callers must not modify it.
+func (w *Workload) Flows() []hashing.FlowID { return w.flows }
 
 // BuildWorkload generates the trace and derives the scaled configuration.
 func BuildWorkload(s Scale) (*Workload, error) {
@@ -127,6 +139,11 @@ func BuildWorkload(s Scale) (*Workload, error) {
 	if w.M < 1 {
 		w.M = 1
 	}
+	w.flows = make([]hashing.FlowID, 0, tr.NumFlows())
+	for id := range tr.Truth {
+		w.flows = append(w.flows, id)
+	}
+	sort.Slice(w.flows, func(i, j int) bool { return w.flows[i] < w.flows[j] })
 	return w, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"slices"
 )
 
 // FlowID is the unique identifier the measurement pipeline derives from a
@@ -129,6 +130,21 @@ type KSelector struct {
 	k    int
 	l    uint64
 	seed uint64
+
+	// Precomputed inner seed mixes: MixWithSeed(x, seed) is
+	// Mix64(x ^ Mix64(seed^C)), and the Mix64(seed^C) half depends only on
+	// the seed, so hoisting it here halves the mixing work per selection
+	// without changing a single output bit.
+	baseMix uint64
+	stepMix uint64
+
+	// Reduction constants for idx % l without a hardware divide. When l is
+	// a power of two the reduction is a mask; otherwise mHi/mLo hold the
+	// 128-bit magic ceil(2^128/l) for an exact multiply-based modulo.
+	lIsPow2 bool
+	lMask   uint64
+	mHi     uint64
+	mLo     uint64
 }
 
 // NewKSelector returns a selector for k distinct indices in [0, l).
@@ -141,7 +157,42 @@ func NewKSelector(k, l int, seed uint64) *KSelector {
 	if l < k {
 		panic("hashing: KSelector requires L >= k distinct counters")
 	}
-	return &KSelector{k: k, l: uint64(l), seed: seed}
+	s := &KSelector{k: k, l: uint64(l), seed: seed}
+	s.baseMix = Mix64(seed ^ 0x9e3779b97f4a7c15)
+	s.stepMix = Mix64((seed ^ 0xa5a5a5a5a5a5a5a5) ^ 0x9e3779b97f4a7c15)
+	if s.l&(s.l-1) == 0 {
+		s.lIsPow2 = true
+		s.lMask = s.l - 1
+	} else {
+		// Magic M = floor((2^128 - 1)/l) + 1 = ceil(2^128/l); exact for
+		// every 64-bit operand because l >= 2 here (powers of two,
+		// including l == 1, take the mask path above).
+		hi := ^uint64(0) / s.l
+		r := ^uint64(0) % s.l
+		lo, _ := bits.Div64(r, ^uint64(0), s.l)
+		lo++
+		if lo == 0 {
+			hi++
+		}
+		s.mHi, s.mLo = hi, lo
+	}
+	return s
+}
+
+// reduce computes x % s.l without a divide instruction: a mask when l is a
+// power of two, otherwise Lemire's multiply-based exact modulo using the
+// precomputed 128-bit reciprocal. Bit-identical to x % s.l for all x.
+func (s *KSelector) reduce(x uint64) uint64 {
+	if s.lIsPow2 {
+		return x & s.lMask
+	}
+	// lowbits = (x * M) mod 2^128; result = floor(lowbits * l / 2^128).
+	lbHi, lbLo := bits.Mul64(x, s.mLo)
+	lbHi += x * s.mHi
+	h1, _ := bits.Mul64(lbLo, s.l)
+	pHi, pLo := bits.Mul64(lbHi, s.l)
+	_, carry := bits.Add64(pLo, h1, 0)
+	return pHi + carry
 }
 
 // K returns the number of indices per flow.
@@ -158,29 +209,81 @@ func (s *KSelector) L() int { return int(s.l) }
 // the extended slice. Passing a reusable dst avoids per-call allocation on
 // the hot path. The result is deterministic in (flow, seed).
 func (s *KSelector) Select(flow FlowID, dst []uint32) []uint32 {
-	base := MixWithSeed(uint64(flow), s.seed)
-	step := MixWithSeed(uint64(flow), s.seed^0xa5a5a5a5a5a5a5a5)
+	start := len(dst)
+	dst = slices.Grow(dst, s.k)[:start+s.k]
+	s.selectInto(flow, dst[start:])
+	return dst
+}
+
+// SelectBlock appends the k distinct counter indices of every flow in flows
+// to dst — k*len(flows) entries, flow i occupying dst[i*k:(i+1)*k] of the
+// appended region — and returns the extended slice. With a reused dst of
+// sufficient capacity it performs no allocation at all, which is what the
+// bulk query engine's steady state relies on.
+func (s *KSelector) SelectBlock(flows []FlowID, dst []uint32) []uint32 {
+	start := len(dst)
+	n := s.k * len(flows)
+	dst = slices.Grow(dst, n)[:start+n]
+	out := dst[start:]
+	if s.k == 3 {
+		s.selectBlock3(flows, out)
+		return dst
+	}
+	for i, f := range flows {
+		s.selectInto(f, out[i*s.k:(i+1)*s.k])
+	}
+	return dst
+}
+
+// selectBlock3 is the block path specialized for k = 3 (the paper's
+// operating point): the double-hashing probe sequence is unrolled with the
+// distinctness checks inlined, and the rare collision case (probability
+// ~k²/L) falls back to the generic selectInto, which runs the identical
+// algorithm — so the specialization cannot change an output bit.
+func (s *KSelector) selectBlock3(flows []FlowID, out []uint32) {
+	for i, f := range flows {
+		base := Mix64(uint64(f) ^ s.baseMix)
+		step := Mix64(uint64(f)^s.stepMix) | 1
+		i0 := uint32(s.reduce(base))
+		i1 := uint32(s.reduce(base + step))
+		i2 := uint32(s.reduce(base + step + step))
+		if i1 == i0 || i2 == i0 || i2 == i1 {
+			s.selectInto(f, out[i*3:i*3+3])
+			continue
+		}
+		o := i * 3
+		out[o] = i0
+		out[o+1] = i1
+		out[o+2] = i2
+	}
+}
+
+// selectInto writes the flow's k distinct indices into out (len(out) == k).
+// Shared by Select and SelectBlock so the two paths are bit-identical by
+// construction.
+func (s *KSelector) selectInto(flow FlowID, out []uint32) {
+	base := Mix64(uint64(flow) ^ s.baseMix)
+	step := Mix64(uint64(flow) ^ s.stepMix)
 	// Force the stride odd and nonzero: when L is a power of two an odd
 	// stride is coprime to L so double hashing cycles through all slots;
 	// for general L the probing fallback below guarantees distinctness.
 	step |= 1
-	start := len(dst)
-	for i := 0; len(dst)-start < s.k; i++ {
-		idx := uint32((base + uint64(i)*step) % s.l)
-		if containsIdx(dst[start:], idx) {
+	for i, n := uint64(0), 0; n < len(out); i++ {
+		idx := uint32(s.reduce(base + i*step))
+		if containsIdx(out[:n], idx) {
 			// Collision under double hashing (possible when L is not
 			// coprime with the stride): probe linearly from the collision
 			// point until a fresh slot appears. L >= k guarantees success.
-			for containsIdx(dst[start:], idx) {
+			for containsIdx(out[:n], idx) {
 				idx++
 				if uint64(idx) >= s.l {
 					idx = 0
 				}
 			}
 		}
-		dst = append(dst, idx)
+		out[n] = idx
+		n++
 	}
-	return dst
 }
 
 func containsIdx(have []uint32, idx uint32) bool {

@@ -1,0 +1,89 @@
+package rcs
+
+import (
+	"github.com/caesar-sketch/caesar/internal/bulk"
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// queryBlock mirrors the core engine's block size: flows per SelectBlock
+// call in the bulk query path.
+const queryBlock = 256
+
+// EstimateMany computes the CSM estimate (RCS's default query method) of
+// every flow in flows, bit-identical to calling CSM in a loop: the indices
+// are generated in blocks, the gather and sum are fused, and the k·n/L noise
+// term — evaluated with exactly the scalar expression — is hoisted out of
+// the loop. The result has len(flows) with flows[i]'s estimate at index i;
+// dst is reused as backing storage when it has capacity. Not safe for
+// concurrent use on one estimator (scratch reuse); see QueryAll.
+func (e *Estimator) EstimateMany(flows []hashing.FlowID, dst []float64) []float64 {
+	out := resizeFloats(dst, len(flows))
+	noise := float64(e.K) * e.TotalMass / float64(e.sram.Len())
+	k := e.K
+	vals := e.sram.Values()
+	for start := 0; start < len(flows); start += queryBlock {
+		end := min(start+queryBlock, len(flows))
+		blk := flows[start:end]
+		e.idxBuf = e.sel.SelectBlock(blk, e.idxBuf[:0])
+		idx := e.idxBuf
+		if k == 3 {
+			for i := range blk {
+				o := i * 3
+				sum := vals[idx[o]] + vals[idx[o+1]] + vals[idx[o+2]]
+				out[start+i] = float64(sum) - noise
+			}
+			continue
+		}
+		for i := range blk {
+			var sum uint64
+			for _, ix := range idx[i*k : (i+1)*k] {
+				sum += vals[ix]
+			}
+			out[start+i] = float64(sum) - noise
+		}
+	}
+	return out
+}
+
+// Fork returns an independent query view sharing the selector and counters
+// but owning private scratch, for concurrent bulk queries.
+func (e *Estimator) Fork() *Estimator {
+	c := *e
+	c.idxBuf = nil
+	c.valBuf = nil
+	return &c
+}
+
+// QueryAll fans contiguous flow chunks across workers goroutines (<= 0
+// means GOMAXPROCS), each running EstimateMany on a private fork and writing
+// at fixed offsets: output is bit-identical to the scalar CSM loop
+// regardless of worker count.
+func (e *Estimator) QueryAll(flows []hashing.FlowID, workers int, dst []float64) []float64 {
+	out := resizeFloats(dst, len(flows))
+	w := bulk.Workers(workers, len(flows))
+	if w <= 1 {
+		return e.EstimateMany(flows, out)
+	}
+	bulk.Do(len(flows), w, func(_, start, end int) {
+		e.Fork().EstimateMany(flows[start:end], out[start:end])
+	})
+	return out
+}
+
+// EstimateMany is the bulk counterpart of Sketch.Estimate: the default CSM
+// query for every flow, through the same cached query view (invalidated on
+// Flush) so mixing scalar and bulk calls stays consistent.
+func (s *Sketch) EstimateMany(flows []hashing.FlowID, dst []float64) []float64 {
+	s.Flush()
+	if s.est == nil {
+		s.est = s.Estimator()
+	}
+	return s.est.EstimateMany(flows, dst)
+}
+
+func resizeFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}

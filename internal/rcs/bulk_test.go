@@ -1,0 +1,72 @@
+package rcs
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+func bulkTestSketch(t testing.TB) (*Sketch, []hashing.FlowID) {
+	t.Helper()
+	s, err := New(Config{K: 3, L: 739, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]hashing.FlowID, 2048)
+	p := hashing.NewPRNG(21)
+	for i := range flows {
+		flows[i] = hashing.FlowID(p.Next())
+		for j := 0; j <= i%9; j++ {
+			s.Observe(flows[i])
+		}
+	}
+	return s, flows
+}
+
+func TestRCSEstimateManyBitIdentical(t *testing.T) {
+	s, flows := bulkTestSketch(t)
+	e := s.Estimator()
+	want := make([]float64, len(flows))
+	for i, f := range flows {
+		want[i] = e.CSM(f)
+	}
+	got := e.EstimateMany(flows, nil)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("EstimateMany[%d] = %v, CSM = %v", i, got[i], want[i])
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
+		par := e.QueryAll(flows, workers, nil)
+		for i := range want {
+			if math.Float64bits(par[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: QueryAll[%d] = %v, CSM = %v", workers, i, par[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRCSSketchEstimateManyMatchesEstimate(t *testing.T) {
+	s, flows := bulkTestSketch(t)
+	got := s.EstimateMany(flows, nil)
+	for i, f := range flows {
+		want := s.Estimate(f)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("Sketch.EstimateMany[%d] = %v, Estimate = %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRCSEstimateManyZeroAllocsSteadyState(t *testing.T) {
+	s, flows := bulkTestSketch(t)
+	e := s.Estimator()
+	dst := make([]float64, len(flows))
+	e.EstimateMany(flows, dst) // warm scratch
+	if allocs := testing.AllocsPerRun(20, func() {
+		e.EstimateMany(flows, dst)
+	}); allocs != 0 {
+		t.Fatalf("EstimateMany allocated %.1f times per run in steady state", allocs)
+	}
+}

@@ -57,7 +57,7 @@ func TestSnapshotRoundTripBitExact(t *testing.T) {
 	for i := range flows {
 		flows[i] = hashing.FlowID(i)
 	}
-	sm, rm := s.EstimateMany(flows), r.EstimateMany(flows)
+	sm, rm := s.EstimateMany(flows, nil), r.EstimateMany(flows, nil)
 	for i := range sm {
 		if math.Float64bits(sm[i]) != math.Float64bits(rm[i]) {
 			t.Fatalf("EstimateMany[%d]: %v != %v", i, sm[i], rm[i])

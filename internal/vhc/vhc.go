@@ -174,17 +174,40 @@ func (s *Sketch) Estimate(flow hashing.FlowID) float64 {
 	return sum - noise
 }
 
-// EstimateMany amortizes the TotalDecoded pass over a batch of queries.
-func (s *Sketch) EstimateMany(flows []hashing.FlowID) []float64 {
-	noisePer := s.totalForNoise() / float64(s.cfg.Registers)
-	out := make([]float64, len(flows))
-	for i, f := range flows {
-		s.idxBuf = s.sel.Select(f, s.idxBuf[:0])
-		var sum float64
-		for _, r := range s.idxBuf {
-			sum += decodeRegister(s.regs[r])
+// EstimateMany is the bulk query path in the query engine's shared shape:
+// flows[i]'s estimate lands at index i of the result, which reuses dst when
+// it has capacity. It is bit-identical to the scalar Estimate loop (when the
+// registers are not mutated mid-loop): virtual register indices are
+// generated in blocks, the register decode reads a table precomputed with
+// the same decodeRegister arithmetic, and the sharing-noise term — the exact
+// scalar expression — is computed once and amortized over the batch along
+// with the TotalDecoded pass.
+func (s *Sketch) EstimateMany(flows []hashing.FlowID, dst []float64) []float64 {
+	out := dst
+	if cap(out) >= len(flows) {
+		out = out[:len(flows)]
+	} else {
+		out = make([]float64, len(flows))
+	}
+	noise := float64(s.cfg.S) * s.totalForNoise() / float64(s.cfg.Registers)
+	var table [256]float64
+	for v := range table {
+		table[v] = decodeRegister(uint8(v))
+	}
+	sv := s.cfg.S
+	const block = 256
+	for start := 0; start < len(flows); start += block {
+		end := min(start+block, len(flows))
+		blk := flows[start:end]
+		s.idxBuf = s.sel.SelectBlock(blk, s.idxBuf[:0])
+		idx := s.idxBuf
+		for i := range blk {
+			var sum float64
+			for _, r := range idx[i*sv : (i+1)*sv] {
+				sum += table[s.regs[r]]
+			}
+			out[start+i] = sum - noise
 		}
-		out[i] = sum - float64(s.cfg.S)*noisePer
 	}
 	return out
 }

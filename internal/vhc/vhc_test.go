@@ -106,11 +106,23 @@ func TestEstimateManyMatchesEstimate(t *testing.T) {
 	for i := 0; i < 9000; i++ {
 		s.Observe(flows[i%3])
 	}
-	batch := s.EstimateMany(flows)
+	s.Flush()
+	batch := s.EstimateMany(flows, nil)
 	for i, f := range flows {
-		if one := s.Estimate(f); math.Abs(one-batch[i]) > 1e-9 {
+		if one := s.Estimate(f); math.Float64bits(one) != math.Float64bits(batch[i]) {
 			t.Fatalf("flow %d: Estimate %v vs EstimateMany %v", f, one, batch[i])
 		}
+	}
+	// dst reuse: same backing array, same values, no allocation per flow.
+	dst := make([]float64, len(flows))
+	out := s.EstimateMany(flows, dst)
+	if &out[0] != &dst[0] {
+		t.Fatal("EstimateMany did not reuse dst")
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		s.EstimateMany(flows, dst)
+	}); allocs != 0 {
+		t.Fatalf("EstimateMany allocated %.1f times per run with reused dst", allocs)
 	}
 }
 

@@ -57,6 +57,16 @@ func ReadSketch(r io.Reader) (*Sketch, error) {
 // Estimator for MLM or confidence intervals.
 func (sk *Sketch) Estimate(flow FlowID) float64 { return sk.s.Estimate(flow) }
 
+// EstimateMany is the bulk counterpart of Estimate: the default CSM query
+// for every flow in flows, with flows[i]'s estimate at index i of the
+// result. It is bit-identical to calling Estimate in a loop and shares the
+// same cached query view (invalidated by Flush, Merge, and ReadFrom). dst
+// is reused as backing storage when it has capacity; see
+// Estimator.EstimateMany for the full contract.
+func (sk *Sketch) EstimateMany(flows []FlowID, dst []float64) []float64 {
+	return sk.s.EstimateMany(flows, dst)
+}
+
 // Snapshot serializes every shard's end-of-epoch state into one snapshot.
 // The Sharded must be closed first: snapshotting while workers are still
 // draining would capture a torn state. Load with ReadShardedSnapshot.
