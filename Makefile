@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint chaos fuzz-smoke snapshot-compat bench-json bench-smoke ci
+.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos fuzz-smoke snapshot-compat bench-json bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,25 @@ vet:
 
 lint:
 	$(GO) run ./cmd/caesar-lint ./...
+
+# The same passes under the go vet driver, which also covers _test.go files
+# and threads package facts (the allocfree certified sets) through .vetx.
+lint-vettool:
+	$(GO) build -o dist/caesar-lint ./cmd/caesar-lint
+	$(GO) vet -vettool=$(CURDIR)/dist/caesar-lint ./...
+
+# Audits every //caesar:ignore in the tree: prints file, analyzers, and
+# justification; fails on waivers with no justification or naming unknown
+# passes.
+lint-waivers:
+	$(GO) run ./cmd/caesar-lint -waivers -strict ./...
+
+# Machine-readable findings for dashboards and diff tooling
+# (schema: internal/analyzers/framework/json.go, version 1).
+lint-json:
+	@mkdir -p dist
+	$(GO) run ./cmd/caesar-lint -json ./... > dist/lint.json
+	@echo "wrote dist/lint.json"
 
 # The fault-injection chaos suite (chaos_test.go, docs/ROBUSTNESS.md):
 # overload drops, worker panics + quarantine, deadline-bounded shutdown,
@@ -61,4 +80,4 @@ bench-smoke:
 	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs' -count=1 .
 	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
 
-ci: build vet test race lint chaos fuzz-smoke snapshot-compat bench-smoke
+ci: build vet test race lint lint-vettool lint-waivers chaos fuzz-smoke snapshot-compat bench-smoke

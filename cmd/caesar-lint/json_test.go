@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// TestJSONSmoke is the `make lint-json` smoke test: the -json mode must
+// emit a parseable report with the current schema version and a findings
+// count that matches the diagnostics array, even (especially) on a clean
+// package.
+func TestJSONSmoke(t *testing.T) {
+	cmd := exec.Command("go", "run", "./cmd/caesar-lint", "-json", "./internal/counters")
+	cmd.Dir = "../.."
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 1 {
+			// findings present: still a valid report, fall through
+		} else {
+			t.Fatalf("caesar-lint -json: %v", err)
+		}
+	}
+	var rep framework.JSONReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Version != framework.JSONSchemaVersion {
+		t.Errorf("schema version = %d, want %d", rep.Version, framework.JSONSchemaVersion)
+	}
+	if rep.Findings != len(rep.Diagnostics) {
+		t.Errorf("findings = %d but %d diagnostics listed", rep.Findings, len(rep.Diagnostics))
+	}
+	if rep.Diagnostics == nil {
+		t.Error("diagnostics should marshal as [], not null, on a clean tree")
+	}
+}

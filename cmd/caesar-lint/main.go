@@ -1,23 +1,36 @@
 // Command caesar-lint runs the CAESAR house analyzer suite (see
-// docs/ANALYZERS.md): seededrand, lockdiscipline, saturating, floaterr, and
-// errcheck — the invariants of the sketch that the compiler cannot check.
+// docs/ANALYZERS.md): seededrand, lockdiscipline, saturating, floaterr,
+// errcheck, maporder, allocfree, snapshotpair, and atomicdiscipline — the
+// invariants of the sketch that the compiler cannot check.
 //
 // Standalone (the usual way):
 //
 //	go run ./cmd/caesar-lint ./...
 //
+// Machine-readable output for tooling (schema: internal/analyzers/framework/json.go):
+//
+//	go run ./cmd/caesar-lint -json ./... > lint.json
+//
+// Audit the waiver ledger — every //caesar:ignore in the tree, with its
+// justification; -strict makes malformed waivers (missing justification,
+// unknown analyzer name) fatal:
+//
+//	go run ./cmd/caesar-lint -waivers -strict ./...
+//
 // As a vet tool (runs the same passes under the go vet driver, which also
-// covers _test.go files):
+// covers _test.go files; package facts ride in the .vetx files):
 //
 //	go build -o /tmp/caesar-lint ./cmd/caesar-lint
 //	go vet -vettool=/tmp/caesar-lint ./...
 //
-// Exit status: 0 when the tree is clean, 1 on findings, 2 on usage or load
-// errors. Findings are silenced in place with a justified
+// Exit status: 0 when the tree is clean, 1 on findings (or, with
+// -waivers -strict, on ledger problems), 2 on usage or load errors.
+// Findings are silenced in place with a justified
 // //caesar:ignore <analyzer> <reason> comment.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -45,12 +58,19 @@ func main() {
 		}
 	}
 
-	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+	if len(args) == 1 && (args[0] == "help" || args[0] == "--help") {
 		usage()
 		return
 	}
 
-	patterns := args
+	fs := flag.NewFlagSet("caesar-lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout (schema version 1)")
+	waivers := fs.Bool("waivers", false, "print the //caesar:ignore waiver ledger instead of findings")
+	strict := fs.Bool("strict", false, "with -waivers: exit 1 when any waiver is malformed")
+	fs.Usage = usage
+	_ = fs.Parse(args) // ExitOnError: Parse exits on bad flags / -h
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -64,14 +84,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "caesar-lint: %s: type error: %v\n", pkg.PkgPath, terr)
 		}
 	}
+
+	if *waivers {
+		os.Exit(waiverLedger(pkgs, *strict))
+	}
+
 	diags, err := framework.RunAnalyzers(pkgs, analyzers.All())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
 		os.Exit(2)
 	}
 	if len(pkgs) > 0 {
-		for _, d := range diags {
-			fmt.Printf("%s: %s [%s]\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
+		if *jsonOut {
+			if err := framework.WriteJSON(os.Stdout, pkgs[0].Fset, diags); err != nil {
+				fmt.Fprintf(os.Stderr, "caesar-lint: writing JSON: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Printf("%s: %s [%s]\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
+				for _, r := range d.Related {
+					fmt.Printf("\t%s: %s\n", pkgs[0].Fset.Position(r.Pos), r.Message)
+				}
+			}
 		}
 	}
 	if len(diags) > 0 {
@@ -80,14 +115,44 @@ func main() {
 	}
 }
 
+// waiverLedger prints every //caesar:ignore directive in the loaded
+// packages with its justification, flags malformed entries, and returns the
+// process exit code.
+func waiverLedger(pkgs []*framework.Package, strict bool) int {
+	total, problems := 0, 0
+	for _, pkg := range pkgs {
+		for _, w := range framework.CollectWaivers(pkg.Fset, pkg.Files) {
+			total++
+			just := w.Justification
+			if just == "" {
+				just = "(no justification)"
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", w.File, w.Line, strings.Join(w.Analyzers, ","), just)
+			for _, p := range w.Problems(analyzers.Known) {
+				problems++
+				fmt.Printf("%s:%d: problem: %s\n", w.File, w.Line, p)
+			}
+		}
+	}
+	fmt.Printf("%d waiver(s), %d problem(s)\n", total, problems)
+	if strict && problems > 0 {
+		return 1
+	}
+	return 0
+}
+
 func usage() {
 	fmt.Println("caesar-lint: the CAESAR house static-analysis suite")
 	fmt.Println()
-	fmt.Println("usage: caesar-lint [package patterns]   (default ./...)")
+	fmt.Println("usage: caesar-lint [-json] [-waivers [-strict]] [package patterns]   (default ./...)")
 	fmt.Println()
 	for _, a := range analyzers.All() {
-		fmt.Printf("  %-15s %s\n", a.Name, a.Doc)
+		fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
 	}
+	fmt.Println()
+	fmt.Println("  -json      emit findings as JSON on stdout (schema version 1)")
+	fmt.Println("  -waivers   print the //caesar:ignore waiver ledger")
+	fmt.Println("  -strict    with -waivers: exit 1 when any waiver is malformed")
 	fmt.Println()
 	fmt.Println("suppress a finding: //caesar:ignore <analyzer>[,<analyzer>] <justification>")
 	fmt.Println("details: docs/ANALYZERS.md")

@@ -5,10 +5,13 @@ package main
 // this hermetic build environment, see internal/analyzers/framework).
 //
 // go vet invokes the tool once per package with a JSON config file naming
-// the unit's sources and the export-data files of every dependency. The
-// tool type-checks the unit against that export data, runs the analyzers,
-// writes a (for us, empty — no facts) .vetx output file, and exits 0 for
-// clean, 2 for findings.
+// the unit's sources, the export-data files of every dependency, and the
+// .vetx fact files those dependencies' runs produced. The tool type-checks
+// the unit against the export data, seeds a fact store from the dependency
+// vetx files, runs the analyzers, writes the accumulated store (the unit's
+// own exported facts plus everything it imported, so facts reach indirect
+// importers) to VetxOutput as JSON, and exits 0 for clean, 2 for findings.
+// VetxOnly units run the full suite for their facts but report nothing.
 
 import (
 	"crypto/sha256"
@@ -57,16 +60,20 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "caesar-lint: parsing vet config %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The suite carries no inter-package facts, so the vetx output is
-	// always empty — but it must exist for the driver's cache.
+	// Write an empty vetx up front so the file exists for the driver's
+	// cache even when this unit fails to parse or type-check; a successful
+	// run overwrites it with the real fact store below.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("{}"), 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "caesar-lint: writing vetx: %v\n", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
+
+	facts := framework.NewFactStore()
+	if err := loadVetxFacts(facts, cfg.PackageVetx); err != nil {
+		fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
+		return 1
 	}
 
 	fset := token.NewFileSet()
@@ -123,10 +130,19 @@ func unitcheck(cfgFile string) int {
 		Types:     tpkg,
 		TypesInfo: info,
 	}
-	diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, analyzers.All())
+	diags, err := framework.RunAnalyzersWithFacts([]*framework.Package{pkg}, analyzers.All(), facts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := writeVetxFacts(facts, cfg.VetxOutput); err != nil {
+			fmt.Fprintf(os.Stderr, "caesar-lint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only unit: the driver does not want diagnostics
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
@@ -135,6 +151,49 @@ func unitcheck(cfgFile string) int {
 		return 2
 	}
 	return 0
+}
+
+// vetxFacts is the on-disk shape of a .vetx file: package path -> analyzer
+// name -> serialized fact. Each unit's file carries its own facts plus every
+// fact it loaded from its dependencies, so indirect importers see the whole
+// transitive story regardless of which vetx files the driver hands them.
+type vetxFacts map[string]map[string]json.RawMessage
+
+// loadVetxFacts seeds the store from the dependency vetx files the driver
+// provided. Files written by other tools (or the empty placeholder) that do
+// not parse as our schema are skipped rather than fatal: missing facts only
+// weaken cross-package checks, they never corrupt them.
+func loadVetxFacts(store *framework.FactStore, packageVetx map[string]string) error {
+	for _, file := range packageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("reading dependency vetx: %w", err)
+		}
+		var facts vetxFacts
+		if err := json.Unmarshal(data, &facts); err != nil {
+			continue
+		}
+		for pkgPath, byAnalyzer := range facts {
+			store.AddPackageFacts(pkgPath, byAnalyzer)
+		}
+	}
+	return nil
+}
+
+// writeVetxFacts dumps the whole store to the unit's VetxOutput.
+func writeVetxFacts(store *framework.FactStore, path string) error {
+	out := vetxFacts{}
+	for _, pkgPath := range store.Packages() {
+		out[pkgPath] = store.PackageFacts(pkgPath)
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("encoding vetx: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fmt.Errorf("writing vetx: %w", err)
+	}
+	return nil
 }
 
 // printVersion answers the driver's -V=full probe. The output format (name,

@@ -90,10 +90,13 @@ func main() {
 }
 
 func measure(label string, tr *trace.Trace, estimate func(trace.Packet) float64, largeCut float64) expt.Accuracy {
+	// Query flows in sorted order, not map order: MeasureAccuracy folds
+	// float error terms, so iterating tr.Truth directly would make the
+	// printed table differ from run to run.
 	pts := make([]stats.EstimatePoint, 0, tr.NumFlows())
-	for id, actual := range tr.Truth {
+	for _, id := range trace.SortedFlowIDs(tr.Truth) {
 		pts = append(pts, stats.EstimatePoint{
-			Actual:    actual,
+			Actual:    tr.Truth[id],
 			Estimated: estimate(trace.Packet{Flow: id}),
 		})
 	}

@@ -117,11 +117,11 @@ func FuzzTornSnapshot(f *testing.F) {
 	}
 	plain, sharded := mkValid()
 
-	f.Add(true, uint32(0), uint32(0), byte(0))       // untouched plain snapshot
-	f.Add(false, uint32(0), uint32(0), byte(0))      // untouched sharded snapshot
-	f.Add(true, uint32(1), uint32(0), byte(0))       // near-total truncation
+	f.Add(true, uint32(0), uint32(0), byte(0))  // untouched plain snapshot
+	f.Add(false, uint32(0), uint32(0), byte(0)) // untouched sharded snapshot
+	f.Add(true, uint32(1), uint32(0), byte(0))  // near-total truncation
 	f.Add(false, uint32(len(sharded)/2), uint32(0), byte(0))
-	f.Add(true, uint32(0), uint32(5), byte(1))       // header bit flip
+	f.Add(true, uint32(0), uint32(5), byte(1))                  // header bit flip
 	f.Add(false, uint32(0), uint32(len(sharded)-1), byte(0x80)) // CRC bit flip
 
 	f.Fuzz(func(t *testing.T, usePlain bool, truncateAt, flipPos uint32, flipMask byte) {

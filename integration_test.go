@@ -36,7 +36,8 @@ func TestIntegrationTraceToEstimates(t *testing.T) {
 	est := sk.Estimator()
 
 	var pts []stats.EstimatePoint
-	for id, actual := range tr.Truth {
+	for _, id := range trace.SortedFlowIDs(tr.Truth) {
+		actual := tr.Truth[id]
 		if float64(actual) < 10*tr.MeanFlowSize() {
 			continue
 		}

@@ -1,0 +1,365 @@
+// Package allocfree is the static twin of the runtime zero-alloc gates
+// (TestSketchObserveZeroAllocs, TestEstimateManyZeroAllocs): functions
+// annotated //caesar:hotpath — and everything they reach through static
+// intra-package calls — may not contain operations that allocate on the
+// per-packet path. The runtime gates catch a regression only on the inputs
+// a test happens to drive; this pass catches it on every path, at review
+// time.
+//
+// Inside the hot set the pass flags:
+//
+//   - make/new, and append (which may grow its backing array),
+//   - function literals that capture variables (closures escape to the heap),
+//   - any call into package fmt, and string concatenation,
+//   - map writes (insertion can allocate and rehash), and
+//   - interface boxing: passing, assigning, or returning a concrete value
+//     where an interface is expected.
+//
+// Calls that cross a package boundary are checked through package facts:
+// each package exports the set of functions its allocfree run certified
+// (annotated roots plus their static callees), and a hot-path call into an
+// analyzed package must target a certified function. Standard-library
+// calls are trusted by import path (they can never carry our annotations),
+// except fmt, which is never allowed; packages the driver did not analyze
+// at all are trusted too. panic arguments are exempt: a panicking hot path
+// is already off the fast path.
+//
+// Deliberate allocations (a cold fallback branch, an append into
+// construction-time-reserved capacity) carry a justified
+// //caesar:ignore allocfree <why> waiver, which the waiver ledger audits.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the allocfree pass.
+var Analyzer = &framework.Analyzer{
+	Name: "allocfree",
+	Doc:  "forbid allocation (make/append/closures/fmt/boxing/map writes) in //caesar:hotpath functions and their callees",
+	Run:  run,
+}
+
+// HotpathDirective marks a function as a zero-alloc hot path root.
+const HotpathDirective = "//caesar:hotpath"
+
+// Fact is the package-level fact allocfree exports: the full names
+// (types.Func.FullName) of every function this package's run certified
+// allocation-free — annotated roots and their static intra-package callees.
+type Fact struct {
+	Certified []string
+}
+
+func run(pass *framework.Pass) error {
+	graph := framework.BuildCallGraph(pass)
+
+	// Roots: functions carrying the //caesar:hotpath directive in their doc
+	// comment. rootOf records, per hot function, which annotation pulled it
+	// into the hot set, for the diagnostic's related position.
+	var roots []*types.Func
+	annotation := map[*types.Func]token.Pos{}
+	for fn, fd := range graph.Decls {
+		if pos, ok := hotpathAnnotation(fd); ok {
+			roots = append(roots, fn)
+			annotation[fn] = pos
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	hot := graph.Reachable(roots)
+	rootOf := attributeRoots(graph, roots)
+
+	// Export the certified set whether or not it is empty: an empty fact
+	// still tells importers this package was analyzed, so calls into it are
+	// checkable rather than silently trusted.
+	if pass.ExportPackageFact != nil {
+		fact := Fact{}
+		for fn := range hot {
+			fact.Certified = append(fact.Certified, fn.FullName())
+		}
+		sort.Strings(fact.Certified)
+		if err := pass.ExportPackageFact(fact); err != nil {
+			return err
+		}
+	}
+
+	for fn := range hot {
+		checkHotFunc(pass, graph.Decls[fn], fn, rootOf[fn], annotation)
+	}
+	return nil
+}
+
+// hotpathAnnotation returns the position of the //caesar:hotpath directive
+// in the declaration's doc comment, if present.
+func hotpathAnnotation(fd *ast.FuncDecl) (token.Pos, bool) {
+	if fd.Doc == nil {
+		return token.NoPos, false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, HotpathDirective) {
+			return c.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}
+
+// attributeRoots maps every hot function to one annotated root that reaches
+// it (itself, when annotated), so findings can say why a function is hot.
+func attributeRoots(g *framework.CallGraph, roots []*types.Func) map[*types.Func]*types.Func {
+	rootOf := map[*types.Func]*types.Func{}
+	for _, r := range roots {
+		for fn := range g.Reachable([]*types.Func{r}) {
+			if _, claimed := rootOf[fn]; !claimed || fn == r {
+				rootOf[fn] = r
+			}
+		}
+	}
+	return rootOf
+}
+
+// report emits a finding inside fn, relating it back to the hotpath
+// annotation that put fn in the hot set.
+func report(pass *framework.Pass, fn, root *types.Func, annotation map[*types.Func]token.Pos, pos token.Pos, msg string) {
+	d := framework.Diagnostic{Pos: pos, Message: msg}
+	if root != nil && root != fn {
+		d.Message = msg + " (in the hot set via " + root.Name() + ")"
+	}
+	if root != nil {
+		if apos, ok := annotation[root]; ok {
+			d.Related = append(d.Related, framework.RelatedPosition{
+				Pos:     apos,
+				Message: "hot path root " + root.Name() + " annotated here",
+			})
+		}
+	}
+	pass.Report(d)
+}
+
+func checkHotFunc(pass *framework.Pass, fd *ast.FuncDecl, fn, root *types.Func, annotation map[*types.Func]token.Pos) {
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	rep := func(pos token.Pos, msg string) { report(pass, fn, root, annotation, pos, msg) }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return checkCall(pass, n, rep)
+		case *ast.FuncLit:
+			for _, captured := range capturedVars(pass, n) {
+				rep(n.Pos(), "hot path closure captures "+captured.Name()+", forcing a heap allocation")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				rep(n.Pos(), "hot path string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n, rep)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, n, rep)
+		case *ast.ReturnStmt:
+			checkReturn(pass, fn, n, rep)
+		}
+		return true
+	})
+}
+
+// checkCall applies the builtin, fmt, boxing, and cross-package rules to
+// one call. It returns false when the call's subtree should not be walked
+// further (panic arguments are cold).
+func checkCall(pass *framework.Pass, call *ast.CallExpr, rep func(token.Pos, string)) bool {
+	// Builtins first: make/new/append are the allocation primitives, panic
+	// exempts its whole argument tree.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				rep(call.Pos(), "hot path allocates with make")
+			case "new":
+				rep(call.Pos(), "hot path allocates with new")
+			case "append":
+				rep(call.Pos(), "hot path append may grow its backing array; preallocate or waive with a justification")
+			case "panic":
+				return false
+			}
+			return true
+		}
+	}
+	// Type conversions do not call anything.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+
+	callee := framework.CalleeFunc(pass.TypesInfo, call)
+	if callee != nil && callee.Pkg() != nil {
+		switch path := callee.Pkg().Path(); {
+		case path == "fmt":
+			rep(call.Pos(), "hot path calls fmt."+callee.Name()+", which allocates")
+			return true
+		case callee.Pkg() != pass.Pkg && pass.ImportPackageFact != nil && !stdlibPath(path):
+			var fact Fact
+			if pass.ImportPackageFact(path, &fact) {
+				certified := false
+				for _, name := range fact.Certified {
+					if name == callee.FullName() {
+						certified = true
+						break
+					}
+				}
+				if !certified {
+					rep(call.Pos(), "hot path calls "+callee.Pkg().Name()+"."+callee.Name()+", which is not certified allocation-free (annotate it "+HotpathDirective+" in its package)")
+				}
+			}
+		}
+	}
+
+	checkCallBoxing(pass, call, rep)
+	return true
+}
+
+// checkCallBoxing flags concrete arguments passed to interface parameters.
+func checkCallBoxing(pass *framework.Pass, call *ast.CallExpr, rep func(token.Pos, string)) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return // not an ordinary call, or spread of an existing slice
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			rep(arg.Pos(), "hot path boxes a concrete value into "+pt.String()+" (interface conversion allocates)")
+		}
+	}
+}
+
+// checkAssign flags map writes and interface boxing in assignments.
+func checkAssign(pass *framework.Pass, as *ast.AssignStmt, rep func(token.Pos, string)) {
+	for i, lhs := range as.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					rep(lhs.Pos(), "hot path writes to a map; map insertion can allocate and rehash")
+					continue
+				}
+			}
+		}
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			continue
+		}
+		if len(as.Lhs) != len(as.Rhs) || i >= len(as.Rhs) {
+			continue
+		}
+		lt := pass.TypesInfo.TypeOf(lhs)
+		if boxes(pass, lt, as.Rhs[i]) {
+			rep(as.Rhs[i].Pos(), "hot path boxes a concrete value into "+lt.String()+" (interface conversion allocates)")
+		}
+	}
+}
+
+// checkValueSpec flags `var x SomeInterface = concrete` declarations.
+func checkValueSpec(pass *framework.Pass, vs *ast.ValueSpec, rep func(token.Pos, string)) {
+	if vs.Type == nil {
+		return
+	}
+	lt := pass.TypesInfo.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		if boxes(pass, lt, v) {
+			rep(v.Pos(), "hot path boxes a concrete value into "+lt.String()+" (interface conversion allocates)")
+		}
+	}
+}
+
+// checkReturn flags concrete values returned as interface results.
+func checkReturn(pass *framework.Pass, fn *types.Func, ret *ast.ReturnStmt, rep func(token.Pos, string)) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return // naked return, or a single multi-value call spread
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		if boxes(pass, rt, res) {
+			rep(res.Pos(), "hot path boxes a concrete value into "+rt.String()+" (interface conversion allocates)")
+		}
+	}
+}
+
+// stdlibPath reports whether an import path belongs to the standard
+// library: its first segment carries no dot, whereas module paths start
+// with a domain (github.com/..., golang.org/...). Stdlib calls are trusted
+// rather than fact-checked — under the go vet driver the standard library
+// is analyzed too, and it can never carry our annotations.
+func stdlibPath(path string) bool {
+	seg := path
+	if i := strings.IndexByte(seg, '/'); i >= 0 {
+		seg = seg[:i]
+	}
+	return !strings.Contains(seg, ".")
+}
+
+// boxes reports whether storing expr into a destination of type dst is a
+// concrete-to-interface conversion (a heap allocation for non-pointer
+// values). Untyped nil never boxes.
+func boxes(pass *framework.Pass, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// capturedVars returns the variables the literal captures from enclosing
+// scopes: identifiers resolving to local variables declared outside the
+// literal. Package-level variables and struct fields are not captures.
+func capturedVars(pass *framework.Pass, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == nil || (pass.Pkg != nil && v.Parent() == pass.Pkg.Scope()) {
+			return true // package-level: shared state, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -24,23 +24,28 @@ var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
 var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
 // Run loads testdata/src/<fixture> relative to the analyzers tree and
-// verifies a's diagnostics against the fixture's want comments.
+// verifies a's diagnostics against the fixture's want comments. The fixture
+// may contain subdirectory packages (loaded via ./...), so analyzers that
+// exchange package facts can be exercised across a package boundary; facts
+// flow in dependency order exactly as in the real driver.
 func Run(t *testing.T, a *framework.Analyzer, fixture string) {
 	t.Helper()
 	dir, err := fixtureDir(fixture)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := framework.Load(dir, []string{"."})
+	pkgs, err := framework.Load(dir, []string{"./..."})
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: loaded no packages", fixture)
 	}
-	pkg := pkgs[0]
-	for _, terr := range pkg.TypeErrors {
-		t.Errorf("fixture %s has type errors: %v", fixture, terr)
+	fset := pkgs[0].Fset // Load shares one FileSet across packages
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s has type errors: %v", fixture, terr)
+		}
 	}
 
 	diags, err := framework.RunAnalyzers(pkgs, []*framework.Analyzer{a})
@@ -48,9 +53,12 @@ func Run(t *testing.T, a *framework.Analyzer, fixture string) {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
-	wants := collectWants(t, pkg.Fset, pkg)
+	wants := map[string][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		collectWants(t, fset, pkg, wants)
+	}
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
 		matched := false
 		for i, w := range wants[key] {
@@ -73,11 +81,10 @@ func Run(t *testing.T, a *framework.Analyzer, fixture string) {
 	}
 }
 
-// collectWants scans fixture sources for `// want "re"` comments keyed by
-// file:line.
-func collectWants(t *testing.T, fset *token.FileSet, pkg *framework.Package) map[string][]*regexp.Regexp {
+// collectWants scans one package's sources for `// want "re"` comments and
+// adds them to wants keyed by file:line.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *framework.Package, wants map[string][]*regexp.Regexp) {
 	t.Helper()
-	wants := map[string][]*regexp.Regexp{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -97,7 +104,6 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *framework.Package) map
 			}
 		}
 	}
-	return wants
 }
 
 // fixtureDir resolves the fixture directory from the test's working

@@ -1,7 +1,9 @@
 // Package analyzers registers the CAESAR house lint suite: the static
 // passes that machine-check the invariants the compiler cannot see —
 // seed-threaded determinism, mutex discipline, counter saturation, float
-// hygiene in the estimator math, and the module's error contract.
+// hygiene in the estimator math, the module's error contract, map-order
+// determinism, hot-path allocation freedom, snapshot section symmetry, and
+// atomic access discipline.
 //
 // The suite runs via `go run ./cmd/caesar-lint ./...` (standalone) or
 // `go vet -vettool=$(which caesar-lint) ./...`; docs/ANALYZERS.md describes
@@ -9,12 +11,16 @@
 package analyzers
 
 import (
+	"github.com/caesar-sketch/caesar/internal/analyzers/allocfree"
+	"github.com/caesar-sketch/caesar/internal/analyzers/atomicdiscipline"
 	"github.com/caesar-sketch/caesar/internal/analyzers/errcheck"
 	"github.com/caesar-sketch/caesar/internal/analyzers/floaterr"
 	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
 	"github.com/caesar-sketch/caesar/internal/analyzers/lockdiscipline"
+	"github.com/caesar-sketch/caesar/internal/analyzers/maporder"
 	"github.com/caesar-sketch/caesar/internal/analyzers/saturating"
 	"github.com/caesar-sketch/caesar/internal/analyzers/seededrand"
+	"github.com/caesar-sketch/caesar/internal/analyzers/snapshotpair"
 )
 
 // All returns the full suite in a stable order.
@@ -25,5 +31,20 @@ func All() []*framework.Analyzer {
 		saturating.Analyzer,
 		floaterr.Analyzer,
 		errcheck.Analyzer,
+		maporder.Analyzer,
+		allocfree.Analyzer,
+		snapshotpair.Analyzer,
+		atomicdiscipline.Analyzer,
 	}
+}
+
+// Known reports whether name is a pass in the suite (used by the waiver
+// ledger to reject //caesar:ignore directives naming nonexistent passes).
+func Known(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,361 @@
+// Package atomicdiscipline enforces two memory-discipline invariants the
+// race detector can only catch when a test happens to interleave badly:
+//
+//  1. A struct field accessed through the package-level functions of
+//     sync/atomic (atomic.AddUint64(&s.f, ...) and friends) anywhere must
+//     be accessed that way everywhere. One plain read racing one atomic
+//     write is still a data race — and on the sketch's counters it is a
+//     silent corruption of the very quantities the paper's error bounds
+//     (Eqs. 20/26/32) are stated over. Typed atomics (atomic.Uint64 et al.)
+//     make this mistake unrepresentable and are the preferred fix; the pass
+//     therefore ignores them.
+//
+//  2. close() of a channel stored in a struct field is only legal under the
+//     field's documented owner mutex (a "guarded by <mu>" comment on the
+//     field, the lockdiscipline convention) or inside a sync.Once.Do
+//     callback. An unguarded close is the shape of PR 1's send-on-closed-
+//     channel race: a second goroutine closing or sending concurrently.
+//     Single-owner closes that need neither (one goroutine provably owns
+//     the channel end) carry a justified //caesar:ignore waiver, which
+//     makes the ownership argument auditable in the waiver ledger.
+package atomicdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the atomicdiscipline pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "fields touched via sync/atomic must be touched atomically everywhere; channel fields close only under their documented owner mutex",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *framework.Pass) error {
+	checkMixedAtomics(pass)
+	checkChannelCloses(pass)
+	return nil
+}
+
+// --- invariant 1: all-atomic-or-none field access ---------------------------
+
+// checkMixedAtomics finds fields passed by address to package-level
+// sync/atomic functions, then reports every plain access to those fields.
+func checkMixedAtomics(pass *framework.Pass) {
+	atomicSites := map[*types.Var][]token.Pos{} // field -> atomic access positions
+	var atomicFields []*types.Var               // deterministic iteration
+	inAtomicArg := map[*ast.SelectorExpr]bool{} // selector nodes consumed by atomic calls
+	compositeKeys := map[*ast.Ident]bool{}      // field keys in composite literals
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					compositeKeys[id] = true
+				}
+			case *ast.CallExpr:
+				if !isRawAtomicCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					v := fieldVar(pass, sel)
+					if v == nil {
+						continue
+					}
+					if _, seen := atomicSites[v]; !seen {
+						atomicFields = append(atomicFields, v)
+					}
+					atomicSites[v] = append(atomicSites[v], sel.Pos())
+					inAtomicArg[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return
+	}
+	sort.Slice(atomicFields, func(i, j int) bool { return atomicFields[i].Pos() < atomicFields[j].Pos() })
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicArg[sel] {
+				return true
+			}
+			v := fieldVar(pass, sel)
+			if v == nil {
+				return true
+			}
+			sites, tracked := atomicSites[v]
+			if !tracked || compositeKeys[sel.Sel] {
+				return true
+			}
+			pass.Report(framework.Diagnostic{
+				Pos: sel.Pos(),
+				Message: "field " + v.Name() + " is accessed atomically elsewhere but plainly here; " +
+					"mixing the two is a data race — use sync/atomic at every site (or a typed atomic.Uint64-style field)",
+				Related: []framework.RelatedPosition{{
+					Pos:     sites[0],
+					Message: v.Name() + " accessed via sync/atomic here",
+				}},
+			})
+			return true
+		})
+	}
+}
+
+// isRawAtomicCall reports whether the call invokes a package-level function
+// of sync/atomic. Methods of the typed atomics (atomic.Uint64.Load, ...)
+// have a receiver and are deliberately not matched.
+func isRawAtomicCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil.
+func fieldVar(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// --- invariant 2: channel-field close discipline ----------------------------
+
+func checkChannelCloses(pass *framework.Pass) {
+	fieldDocs := collectFieldDocs(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			onceLits := collectOnceDoLits(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call, "close") || len(call.Args) != 1 {
+					return true
+				}
+				v := closedChannelField(pass, fd, call.Args[0])
+				if v == nil {
+					return true
+				}
+				if insideAny(onceLits, call.Pos()) {
+					return true // once-latched close: the abortOnce idiom
+				}
+				guard := guardedRe.FindStringSubmatch(fieldDocs[v])
+				if guard == nil {
+					pass.Reportf(call.Pos(),
+						"close of channel field %s with no documented owner: annotate the field 'guarded by <mu>' and close under it, close inside sync.Once.Do, or waive with the single-owner justification",
+						v.Name())
+					return true
+				}
+				if !lockHeldBefore(pass, fd, guard[1], call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"close of channel field %s without holding its documented guard %s",
+						v.Name(), guard[1])
+				}
+				return true
+			})
+		}
+	}
+}
+
+// closedChannelField resolves close's argument to a channel-typed struct
+// field: a direct selector (s.done), an indexed selector (s.queues[i]), or
+// a range variable aliasing elements of a channel-slice field
+// (for _, q := range s.queues { close(q) }).
+func closedChannelField(pass *framework.Pass, fd *ast.FuncDecl, arg ast.Expr) *types.Var {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.SelectorExpr:
+		return chanField(pass, e)
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+			return chanField(pass, sel)
+		}
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return nil
+		}
+		var field *types.Var
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || rs.Value == nil {
+				return true
+			}
+			id, ok := rs.Value.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[id] != v {
+				return true
+			}
+			if sel, ok := ast.Unparen(rs.X).(*ast.SelectorExpr); ok {
+				field = chanField(pass, sel)
+			}
+			return field == nil
+		})
+		return field
+	}
+	return nil
+}
+
+// chanField returns the field sel denotes when its type is (or contains
+// elements of) a channel type.
+func chanField(pass *framework.Pass, sel *ast.SelectorExpr) *types.Var {
+	v := fieldVar(pass, sel)
+	if v == nil {
+		return nil
+	}
+	t := v.Type().Underlying()
+	if s, ok := t.(*types.Slice); ok {
+		t = s.Elem().Underlying()
+	}
+	if a, ok := t.(*types.Array); ok {
+		t = a.Elem().Underlying()
+	}
+	if _, ok := t.(*types.Chan); ok {
+		return v
+	}
+	return nil
+}
+
+// collectFieldDocs maps each struct field to its doc or trailing line
+// comment text, where the "guarded by <mu>" annotation lives.
+func collectFieldDocs(pass *framework.Pass) map[*types.Var]string {
+	docs := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				var text strings.Builder
+				if f.Doc != nil {
+					text.WriteString(f.Doc.Text())
+				}
+				if f.Comment != nil {
+					text.WriteString(f.Comment.Text())
+				}
+				if text.Len() == 0 {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						docs[v] = text.String()
+					}
+				}
+			}
+			return true
+		})
+	}
+	return docs
+}
+
+// collectOnceDoLits returns the function literals passed to a Do method of
+// a sync.Once value within fd.
+func collectOnceDoLits(pass *framework.Pass, fd *ast.FuncDecl) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+func insideAny(lits []*ast.FuncLit, pos token.Pos) bool {
+	for _, lit := range lits {
+		if lit.Pos() <= pos && pos <= lit.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// lockHeldBefore reports whether <...>.<mu>.Lock() is called before pos in
+// fd, flow-insensitively (the lockdiscipline approximation: a Lock anywhere
+// earlier in the function counts; deferred calls do not acquire).
+func lockHeldBefore(pass *framework.Pass, fd *ast.FuncDecl, mu string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if receiverMentions(sel.X, mu) {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// receiverMentions reports whether the lock receiver expression ends in the
+// mutex name (s.mu, w.state.mu, mu).
+func receiverMentions(e ast.Expr, mu string) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == mu
+	case *ast.SelectorExpr:
+		return e.Sel.Name == mu
+	}
+	return false
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(pass *framework.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

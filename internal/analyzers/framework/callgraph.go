@@ -1,0 +1,123 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A CallGraph is the static intra-package call graph of one analyzed
+// package: which declared functions and methods call which, resolved
+// through type information. Calls through function values, interface
+// methods, and cross-package calls are not edges (the graph is used to
+// propagate properties like "reachable from a //caesar:hotpath root", and
+// those call forms are handled by the passes themselves).
+type CallGraph struct {
+	// Decls maps each function or method declared in the package to its
+	// declaration site.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Calls maps a declared function to the package-local functions its
+	// body statically calls (deduplicated, deterministic order).
+	Calls map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph constructs the call graph for the pass's package.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls: map[*types.Func]*ast.FuncDecl{},
+		Calls: map[*types.Func][]*types.Func{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+		}
+	}
+	for fn, fd := range g.Decls {
+		if fd.Body == nil {
+			continue
+		}
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, declared := g.Decls[callee]; !declared {
+				return true
+			}
+			if !seen[callee] {
+				seen[callee] = true
+				g.Calls[fn] = append(g.Calls[fn], callee)
+			}
+			return true
+		})
+		sort.Slice(g.Calls[fn], func(i, j int) bool {
+			return g.Calls[fn][i].FullName() < g.Calls[fn][j].FullName()
+		})
+	}
+	return g
+}
+
+// Reachable returns the set of declared functions reachable from roots over
+// static intra-package call edges, roots included.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	reached := map[*types.Func]bool{}
+	var frontier []*types.Func
+	for _, r := range roots {
+		if _, ok := g.Decls[r]; ok && !reached[r] {
+			reached[r] = true
+			frontier = append(frontier, r)
+		}
+	}
+	for len(frontier) > 0 {
+		fn := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, callee := range g.Calls[fn] {
+			if !reached[callee] {
+				reached[callee] = true
+				frontier = append(frontier, callee)
+			}
+		}
+	}
+	return reached
+}
+
+// CalleeFunc resolves the *types.Func a call expression statically invokes:
+// a plain function, a method on a concrete receiver, or a qualified
+// cross-package function. It returns nil for builtins, type conversions,
+// calls through function-typed values, and interface method calls (the
+// target is unknowable statically for the latter two).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				if fn != nil && types.IsInterface(sel.Recv()) {
+					return nil // dynamic dispatch
+				}
+				return fn
+			}
+			return nil // field of function type: dynamic target
+		}
+		// Qualified identifier pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

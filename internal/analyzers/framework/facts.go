@@ -1,0 +1,124 @@
+package framework
+
+// Package-level facts: the cross-package channel of the analyzer suite,
+// mirroring x/tools' analysis.Fact machinery in a JSON-serializable form.
+//
+// An analyzer running over package P may export one fact value describing P
+// (for example allocfree exports the set of //caesar:hotpath functions P
+// declares). When the same analyzer later runs over a package Q that
+// imports P, it imports P's fact and can enforce cross-package invariants
+// without seeing P's syntax.
+//
+// Facts are plain Go values serialized with encoding/json, which makes them
+// portable across processes: the standalone driver keeps them in memory,
+// while the `go vet -vettool` driver round-trips them through the .vetx
+// files the vet cache manages (see cmd/caesar-lint/unitchecker.go).
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// A FactStore holds the exported package facts of an analysis session,
+// keyed by package path, then by analyzer name. The zero value is not
+// usable; call NewFactStore.
+type FactStore struct {
+	m map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[string]json.RawMessage{}}
+}
+
+// Export records fact as analyzer's package-level fact about pkgPath,
+// replacing any previous export. The fact must be JSON-serializable.
+func (s *FactStore) Export(pkgPath, analyzer string, fact any) error {
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("framework: encoding %s fact for %s: %w", analyzer, pkgPath, err)
+	}
+	if s.m[pkgPath] == nil {
+		s.m[pkgPath] = map[string]json.RawMessage{}
+	}
+	s.m[pkgPath][analyzer] = raw
+	return nil
+}
+
+// Import decodes analyzer's fact about pkgPath into out (a pointer) and
+// reports whether such a fact exists. A malformed stored fact is treated as
+// absent: facts are advisory, and a decode failure must not wedge a pass.
+func (s *FactStore) Import(pkgPath, analyzer string, out any) bool {
+	raw, ok := s.m[pkgPath][analyzer]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// PackageFacts returns the serialized facts recorded for one package, or
+// nil if none. The result is the unit payload the vettool driver writes to
+// its .vetx output file.
+func (s *FactStore) PackageFacts(pkgPath string) map[string]json.RawMessage {
+	return s.m[pkgPath]
+}
+
+// AddPackageFacts merges previously serialized facts (a .vetx payload) for
+// one package into the store.
+func (s *FactStore) AddPackageFacts(pkgPath string, facts map[string]json.RawMessage) {
+	if len(facts) == 0 {
+		return
+	}
+	if s.m[pkgPath] == nil {
+		s.m[pkgPath] = map[string]json.RawMessage{}
+	}
+	for name, raw := range facts {
+		s.m[pkgPath][name] = raw
+	}
+}
+
+// Packages returns the package paths with at least one recorded fact, in
+// sorted order (for deterministic ledger/debug output).
+func (s *FactStore) Packages() []string {
+	paths := make([]string, 0, len(s.m))
+	for p := range s.m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// sortPackagesByDeps orders pkgs so every package appears after the
+// packages it imports (among those being analyzed). `go list -deps` already
+// emits this order, but RunAnalyzers re-establishes it defensively: fact
+// import is only sound when dependencies were analyzed first.
+func sortPackagesByDeps(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	var out []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.PkgPath] {
+		case 1, 2: // import cycles cannot occur in valid Go; 1 guards anyway
+			return
+		}
+		state[p.PkgPath] = 1
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok {
+					visit(dep)
+				}
+			}
+		}
+		state[p.PkgPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}

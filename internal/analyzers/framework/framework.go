@@ -40,6 +40,16 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// ExportPackageFact records a JSON-serializable fact about the package
+	// under analysis, readable by later runs of the same analyzer over
+	// packages that import this one. Nil when the driver carries no fact
+	// store (single-fixture tests); analyzers must tolerate that.
+	ExportPackageFact func(fact any) error
+	// ImportPackageFact decodes the fact this analyzer exported for pkgPath
+	// into out (a pointer) and reports whether one exists. Nil under
+	// fact-less drivers.
+	ImportPackageFact func(pkgPath string, out any) bool
 }
 
 // Reportf reports a diagnostic at pos using fmt.Sprintf formatting.
@@ -52,30 +62,66 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled in by RunAnalyzers
+	// Related points at the other positions that make the finding a
+	// cross-function story (the atomic access a plain access conflicts
+	// with, the encoder call a decoder never mirrors, ...).
+	Related []RelatedPosition
+}
+
+// A RelatedPosition anchors one secondary location of a diagnostic.
+type RelatedPosition struct {
+	Pos     token.Pos
+	Message string
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
 // surviving (unsuppressed) diagnostics in position order. Suppressed
 // diagnostics are dropped according to the //caesar:ignore convention, see
-// Suppressions.
+// Suppressions. Package facts are kept in a session-local store; use
+// RunAnalyzersWithFacts to seed or retain facts across processes.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersWithFacts(pkgs, analyzers, NewFactStore())
+}
+
+// diagKey is the comparable identity used to dedupe diagnostics (Diagnostic
+// itself carries a slice and cannot be a map key).
+type diagKey struct {
+	pos      token.Pos
+	message  string
+	analyzer string
+}
+
+// RunAnalyzersWithFacts is RunAnalyzers with an explicit fact store. Facts
+// already in the store (for example deserialized from vet's .vetx files)
+// are importable by every pass; facts exported during the run are added to
+// it. Packages are analyzed in dependency order so that a package's facts
+// exist before its importers run.
+func RunAnalyzersWithFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var out []Diagnostic
-	seen := map[Diagnostic]bool{} // dedupe: nested expressions can report twice
-	for _, pkg := range pkgs {
+	seen := map[diagKey]bool{} // dedupe: nested expressions can report twice
+	for _, pkg := range sortPackagesByDeps(pkgs) {
 		sup := CollectSuppressions(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			name := a.Name
+			pkgPath := pkg.PkgPath
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				ExportPackageFact: func(fact any) error {
+					return facts.Export(pkgPath, name, fact)
+				},
+				ImportPackageFact: func(depPath string, out any) bool {
+					return facts.Import(depPath, name, out)
+				},
 			}
-			name := a.Name
 			pass.Report = func(d Diagnostic) {
 				d.Analyzer = name
-				if !seen[d] && !sup.Suppressed(pkg.Fset, d) {
-					seen[d] = true
+				k := diagKey{d.Pos, d.Message, name}
+				if !seen[k] && !sup.Suppressed(pkg.Fset, d) {
+					seen[k] = true
 					out = append(out, d)
 				}
 			}
@@ -120,7 +166,10 @@ func sortDiagnostics(pkgs []*Package, ds []Diagnostic) {
 // justification does not suppress anything, so reviewers always learn why a
 // finding was waived.
 
-var ignoreRe = regexp.MustCompile(`//caesar:ignore\s+([a-zA-Z0-9_,-]+)(\s+\S.*)?`)
+// ignoreRe is anchored to the start of the comment so that prose that
+// merely mentions the directive (docs, analyzer package comments) neither
+// suppresses findings nor appears in the waiver ledger.
+var ignoreRe = regexp.MustCompile(`^//caesar:ignore\s+([a-zA-Z0-9_,-]+)(\s+\S.*)?`)
 
 // A Suppressions records, per file line, which analyzers are waived there.
 type Suppressions struct {

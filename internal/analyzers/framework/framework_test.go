@@ -1,0 +1,286 @@
+package framework_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// mapImporter resolves imports from already-type-checked packages, so tests
+// can build multi-package graphs entirely in memory.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("test importer: unknown package %q", path)
+}
+
+// checkPkg parses and type-checks the given sources as one package.
+func checkPkg(t *testing.T, fset *token.FileSet, path string, imp types.Importer, srcs ...string) *framework.Package {
+	t.Helper()
+	var files []*ast.File
+	base := strings.ReplaceAll(path, "/", "_")
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("%s_%d.go", base, i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s file %d: %v", path, i, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", path, err)
+	}
+	return &framework.Package{
+		PkgPath:   path,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+}
+
+type toyFact struct {
+	Funcs []string
+}
+
+// TestFactPropagation exercises the fact plumbing end to end: an analyzer
+// exports a fact assembled from every file of a dependency package, and a
+// downstream package — listed first, to prove dependency-order scheduling —
+// imports it through the store.
+func TestFactPropagation(t *testing.T) {
+	fset := token.NewFileSet()
+	dep := checkPkg(t, fset, "example.com/dep", mapImporter{},
+		"package dep\n\nfunc Alpha() int { return 1 }\n",
+		"package dep\n\nfunc Beta() int { return 2 }\n")
+	mainPkg := checkPkg(t, fset, "example.com/main",
+		mapImporter{"example.com/dep": dep.Types},
+		"package main\n\nimport \"example.com/dep\"\n\nfunc Use() int { return dep.Alpha() + dep.Beta() }\n")
+
+	var imported []string
+	var order []string
+	toy := &framework.Analyzer{
+		Name: "toy",
+		Doc:  "exports the function names of dep; imports them downstream",
+		Run: func(pass *framework.Pass) error {
+			order = append(order, pass.Pkg.Path())
+			if pass.Pkg.Path() == "example.com/dep" {
+				var fact toyFact
+				for _, f := range pass.Files {
+					for _, d := range f.Decls {
+						if fd, ok := d.(*ast.FuncDecl); ok {
+							fact.Funcs = append(fact.Funcs, fd.Name.Name)
+						}
+					}
+				}
+				sort.Strings(fact.Funcs)
+				return pass.ExportPackageFact(fact)
+			}
+			var fact toyFact
+			if !pass.ImportPackageFact("example.com/dep", &fact) {
+				pass.Reportf(pass.Files[0].Pos(), "dep fact missing")
+				return nil
+			}
+			imported = fact.Funcs
+			return nil
+		},
+	}
+
+	store := framework.NewFactStore()
+	// Deliberately listed importer-first: the runner must reorder by deps.
+	diags, err := framework.RunAnalyzersWithFacts(
+		[]*framework.Package{mainPkg, dep}, []*framework.Analyzer{toy}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if want := []string{"example.com/dep", "example.com/main"}; !equalStrings(order, want) {
+		t.Errorf("analysis order = %v, want %v", order, want)
+	}
+	// The fact combines declarations from both files of dep.
+	if want := []string{"Alpha", "Beta"}; !equalStrings(imported, want) {
+		t.Errorf("imported fact = %v, want %v", imported, want)
+	}
+	var direct toyFact
+	if !store.Import("example.com/dep", "toy", &direct) {
+		t.Fatal("store.Import found no fact for example.com/dep")
+	}
+	if !equalStrings(direct.Funcs, imported) {
+		t.Errorf("store fact %v != pass-imported fact %v", direct.Funcs, imported)
+	}
+}
+
+// TestFactStoreRawRoundTrip covers the serialization surface the vet driver
+// uses: PackageFacts out, AddPackageFacts back in, malformed payloads
+// treated as absent.
+func TestFactStoreRawRoundTrip(t *testing.T) {
+	src := framework.NewFactStore()
+	if err := src.Export("p/a", "toy", toyFact{Funcs: []string{"X"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := framework.NewFactStore()
+	for _, pkg := range src.Packages() {
+		dst.AddPackageFacts(pkg, src.PackageFacts(pkg))
+	}
+	var got toyFact
+	if !dst.Import("p/a", "toy", &got) || !equalStrings(got.Funcs, []string{"X"}) {
+		t.Errorf("round-tripped fact = %+v", got)
+	}
+
+	dst.AddPackageFacts("p/b", map[string]json.RawMessage{"toy": json.RawMessage("{not json")})
+	if dst.Import("p/b", "toy", &got) {
+		t.Error("malformed fact should read as absent, not succeed")
+	}
+	if dst.Import("p/missing", "toy", &got) {
+		t.Error("unknown package should have no facts")
+	}
+}
+
+// TestJSONRoundTrip checks the machine-readable schema: version, findings
+// count, positions, and related positions all survive encode/decode, and a
+// clean run encodes diagnostics as [] rather than null.
+func TestJSONRoundTrip(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n\nvar V = 1\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []framework.Diagnostic{{
+		Pos:      f.Decls[0].Pos(),
+		Message:  "finding one",
+		Analyzer: "toy",
+		Related: []framework.RelatedPosition{
+			{Pos: f.Name.Pos(), Message: "declared here"},
+		},
+	}}
+
+	var buf bytes.Buffer
+	if err := framework.WriteJSON(&buf, fset, diags); err != nil {
+		t.Fatal(err)
+	}
+	var rep framework.JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("re-parsing WriteJSON output: %v", err)
+	}
+	if rep.Version != framework.JSONSchemaVersion {
+		t.Errorf("version = %d, want %d", rep.Version, framework.JSONSchemaVersion)
+	}
+	if rep.Findings != 1 || len(rep.Diagnostics) != 1 {
+		t.Fatalf("findings = %d, diagnostics = %d, want 1 and 1", rep.Findings, len(rep.Diagnostics))
+	}
+	d := rep.Diagnostics[0]
+	if d.Analyzer != "toy" || d.Message != "finding one" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if d.Pos.File != "x.go" || d.Pos.Line != 3 || d.Pos.Column != 1 {
+		t.Errorf("position = %+v, want x.go:3:1", d.Pos)
+	}
+	if len(d.Related) != 1 || d.Related[0].Message != "declared here" || d.Related[0].Pos.Line != 1 {
+		t.Errorf("related = %+v", d.Related)
+	}
+
+	buf.Reset()
+	if err := framework.WriteJSON(&buf, fset, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"diagnostics": []`) {
+		t.Errorf("clean report should encode diagnostics as [], got:\n%s", buf.String())
+	}
+}
+
+// TestWaiverParsing covers the ledger's edge cases: multi-word
+// justifications, comma lists, the always-legal "all", inert directives,
+// unknown pass names, and — the regression from anchoring the directive
+// regexp — prose that merely mentions //caesar:ignore.
+func TestWaiverParsing(t *testing.T) {
+	src := `package w
+
+func f() {
+	//caesar:ignore allocfree cold fallback, steady state reuses the buffer
+	_ = 1
+	//caesar:ignore maporder,allocfree two passes, one multi-word justification
+	_ = 2
+	//caesar:ignore floaterr
+	_ = 3
+	//caesar:ignore nosuchpass because reasons
+	_ = 4
+	//caesar:ignore all everything on this line is vetted by hand
+	_ = 5
+	// Docs may talk about the //caesar:ignore allocfree syntax without
+	// creating a waiver.
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := func(name string) bool {
+		return name == "allocfree" || name == "maporder" || name == "floaterr"
+	}
+	ws := framework.CollectWaivers(fset, []*ast.File{f})
+	if len(ws) != 5 {
+		t.Fatalf("collected %d waivers, want 5 (prose mention must not count): %+v", len(ws), ws)
+	}
+
+	if got := ws[0].Justification; got != "cold fallback, steady state reuses the buffer" {
+		t.Errorf("multi-word justification mangled: %q", got)
+	}
+	if p := ws[0].Problems(known); len(p) != 0 {
+		t.Errorf("valid waiver reported problems: %v", p)
+	}
+
+	if want := []string{"maporder", "allocfree"}; !equalStrings(ws[1].Analyzers, want) {
+		t.Errorf("comma list parsed as %v, want %v", ws[1].Analyzers, want)
+	}
+	if got := ws[1].Justification; got != "two passes, one multi-word justification" {
+		t.Errorf("justification after comma list: %q", got)
+	}
+
+	if p := ws[2].Problems(known); len(p) != 1 || !strings.Contains(p[0], "missing justification") {
+		t.Errorf("inert directive problems = %v, want missing-justification", p)
+	}
+
+	if p := ws[3].Problems(known); len(p) != 1 || !strings.Contains(p[0], `unknown analyzer "nosuchpass"`) {
+		t.Errorf("unknown pass problems = %v", p)
+	}
+
+	if p := ws[4].Problems(known); len(p) != 0 {
+		t.Errorf(`"all" must always be accepted, got problems: %v`, p)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package framework
+
+// Machine-readable diagnostic output. The schema is deliberately small and
+// versioned so downstream tooling (editor integrations, CI annotators, the
+// dist/lint.json artifact) can consume lint results without scraping the
+// human-readable text form.
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+)
+
+// JSONSchemaVersion is bumped on any incompatible change to JSONReport.
+const JSONSchemaVersion = 1
+
+// JSONReport is the top-level object emitted by WriteJSON.
+type JSONReport struct {
+	Version     int              `json:"version"`
+	Findings    int              `json:"findings"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+}
+
+// JSONDiagnostic is one finding.
+type JSONDiagnostic struct {
+	Analyzer string        `json:"analyzer"`
+	Pos      JSONPosition  `json:"pos"`
+	Message  string        `json:"message"`
+	Related  []JSONRelated `json:"related,omitempty"`
+}
+
+// JSONPosition is a file coordinate (1-based line and column).
+type JSONPosition struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// JSONRelated is a secondary location of a finding.
+type JSONRelated struct {
+	Pos     JSONPosition `json:"pos"`
+	Message string       `json:"message"`
+}
+
+// NewJSONReport converts resolved diagnostics into the serializable report.
+func NewJSONReport(fset *token.FileSet, diags []Diagnostic) JSONReport {
+	rep := JSONReport{
+		Version:     JSONSchemaVersion,
+		Findings:    len(diags),
+		Diagnostics: []JSONDiagnostic{}, // encode [] rather than null when clean
+	}
+	for _, d := range diags {
+		jd := JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			Pos:      jsonPosition(fset, d.Pos),
+			Message:  d.Message,
+		}
+		for _, r := range d.Related {
+			jd.Related = append(jd.Related, JSONRelated{
+				Pos:     jsonPosition(fset, r.Pos),
+				Message: r.Message,
+			})
+		}
+		rep.Diagnostics = append(rep.Diagnostics, jd)
+	}
+	return rep
+}
+
+// WriteJSON writes the diagnostics to w as one indented JSON document.
+func WriteJSON(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(NewJSONReport(fset, diags))
+}
+
+func jsonPosition(fset *token.FileSet, pos token.Pos) JSONPosition {
+	p := fset.Position(pos)
+	return JSONPosition{File: p.Filename, Line: p.Line, Column: p.Column}
+}

@@ -1,0 +1,87 @@
+package framework
+
+// The waiver ledger: an inventory of every //caesar:ignore directive in the
+// analyzed tree. Suppressions are the suite's escape hatch, and an escape
+// hatch without an audit trail rots — so `caesar-lint -waivers` prints this
+// ledger and `-strict` turns its problems (missing justification, unknown
+// pass name) into CI failures.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Waiver is one //caesar:ignore directive found in source.
+type Waiver struct {
+	File string
+	Line int
+	// Analyzers are the pass names the directive waives ("all" waives the
+	// whole suite on that line).
+	Analyzers []string
+	// Justification is the free-text reason. Empty means the directive is
+	// inert (it suppresses nothing) — strict mode reports it: a dead waiver
+	// either hides a missing reason or is leftover noise.
+	Justification string
+}
+
+// Problems returns human-readable defects of the waiver: a missing
+// justification, or analyzer names not in the known suite. known reports
+// whether a pass name exists; "all" is always accepted.
+func (w Waiver) Problems(known func(name string) bool) []string {
+	var out []string
+	if w.Justification == "" {
+		out = append(out, "missing justification (directive is inert)")
+	}
+	for _, name := range w.Analyzers {
+		if name != "all" && !known(name) {
+			out = append(out, fmt.Sprintf("unknown analyzer %q", name))
+		}
+	}
+	return out
+}
+
+// CollectWaivers scans the files' comments for every //caesar:ignore
+// directive — justified or not — and returns them sorted by position.
+func CollectWaivers(fset *token.FileSet, files []*ast.File) []Waiver {
+	var out []Waiver
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				w, ok := parseWaiver(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				w.File = pos.Filename
+				w.Line = pos.Line
+				out = append(out, w)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// parseWaiver extracts the directive from one comment's text, if present.
+func parseWaiver(text string) (Waiver, bool) {
+	m := ignoreRe.FindStringSubmatch(text)
+	if m == nil {
+		return Waiver{}, false
+	}
+	var w Waiver
+	for _, name := range strings.Split(m[1], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			w.Analyzers = append(w.Analyzers, name)
+		}
+	}
+	w.Justification = strings.TrimSpace(m[2])
+	return w, true
+}

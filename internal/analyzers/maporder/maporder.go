@@ -1,0 +1,276 @@
+// Package maporder flags order-sensitive work performed inside a `range`
+// over a map. Go randomizes map iteration order per run, so a loop that
+// appends to a slice, writes output, or folds non-commutative state while
+// ranging a map yields a different result every execution — poison for a
+// measurement system whose accuracy claims rest on bit-reproducible runs.
+//
+// This class of bug has bitten this repository three times (all found by
+// hand in review): the PR 1 examples printed per-flow estimates in map
+// order, the PR 2 braids comparison driver enqueued per-algorithm work from
+// a config map, and the PR 5 bulk query runners collected per-shard results
+// by ranging a map. The pass encodes the pattern those reviews looked for:
+//
+//   - an append inside the loop to a slice declared outside it, with no
+//     sort of that slice later in the same function,
+//   - output written inside the loop (fmt.Print*/Fprint*), and
+//   - compound accumulation of order-sensitive state (float arithmetic,
+//     whose rounding is not associative, and string concatenation) into a
+//     variable declared outside the loop.
+//
+// The blessed idiom — collect keys, sort, iterate the sorted slice — is
+// recognized and exempt: an append whose target is sorted after the loop is
+// exactly that idiom's first half. Integer accumulation is exempt too
+// (integer addition is commutative, so iteration order cannot show).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive work (appends, output, float/string folds) inside a range over a map",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rs) {
+					return true
+				}
+				checkMapRange(pass, fd, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// rangesOverMap reports whether the range statement iterates a map.
+func rangesOverMap(pass *framework.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange applies the three order-sensitivity rules to one map range.
+func checkMapRange(pass *framework.Pass, enclosing *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs && rangesOverMap(pass, n) {
+				// The nested map range gets its own visit from run; its body
+				// is judged there, not attributed to the outer loop too.
+				return false
+			}
+		case *ast.CallExpr:
+			if name := outputCallName(pass, n); name != "" {
+				pass.Reportf(n.Pos(),
+					"%s inside a range over a map writes output in nondeterministic iteration order; collect keys, sort, then iterate",
+					name)
+				return true
+			}
+			if target := appendTarget(pass, n); target != nil && declaredOutside(target, rs) {
+				if !sortedAfter(pass, enclosing, rs, target) {
+					pass.Reportf(n.Pos(),
+						"append to %q inside a range over a map builds the slice in nondeterministic iteration order; sort %q afterwards or iterate sorted keys",
+						target.Name(), target.Name())
+				}
+				return true
+			}
+		case *ast.AssignStmt:
+			checkAccumulation(pass, rs, n)
+		}
+		return true
+	})
+}
+
+// outputCallName returns a printable name for fmt output calls
+// (fmt.Print*, fmt.Fprint*), or "".
+func outputCallName(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return ""
+	}
+	name := fn.Name()
+	if len(name) >= 5 && (name[:5] == "Print" || name[:5] == "Fprin") {
+		return "fmt." + name
+	}
+	return ""
+}
+
+// appendTarget returns the variable being grown when call is
+// `append(x, ...)` with an identifier first argument, else nil.
+func appendTarget(pass *framework.Pass, call *ast.CallExpr) *types.Var {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[arg].(*types.Var)
+	return v
+}
+
+// declaredOutside reports whether v's declaration precedes the loop (so the
+// value accumulates across iterations; per-iteration locals are harmless).
+func declaredOutside(v *types.Var, rs *ast.RangeStmt) bool {
+	return v.Pos() < rs.Body.Pos() || v.Pos() > rs.Body.End()
+}
+
+// sortedAfter reports whether v appears as an argument of a sort-style call
+// after the loop in the enclosing function — the collect-then-sort idiom.
+func sortedAfter(pass *framework.Pass, enclosing *ast.FuncDecl, rs *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprUsesVar(pass, arg, v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sorting entry points of package sort and
+// package slices.
+func isSortCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// exprUsesVar reports whether e references v.
+func exprUsesVar(pass *framework.Pass, e ast.Expr, v *types.Var) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// checkAccumulation flags compound folds of order-sensitive state into
+// variables that outlive the loop: float arithmetic (rounding is not
+// associative) and string concatenation.
+func checkAccumulation(pass *framework.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	case token.ASSIGN:
+		// x = x + y is the spelled-out compound form.
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, _ := pass.TypesInfo.Uses[lhs].(*types.Var)
+		if v == nil || !exprUsesVar(pass, bin, v) {
+			return
+		}
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, _ := pass.TypesInfo.Uses[lhs].(*types.Var)
+	if v == nil || !declaredOutside(v, rs) {
+		return
+	}
+	kind := orderSensitiveKind(v.Type())
+	if kind == "" {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"%s accumulation into %q inside a range over a map is order-sensitive and map iteration order is nondeterministic; iterate sorted keys",
+		kind, v.Name())
+}
+
+// orderSensitiveKind classifies types whose repeated folding does not
+// commute: floats (rounding) and strings (concatenation). Integer folds
+// commute and are exempt.
+func orderSensitiveKind(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0:
+		return "floating-point"
+	case b.Info()&types.IsString != 0:
+		return "string"
+	}
+	return ""
+}

@@ -1,0 +1,281 @@
+// Package snapshotpair checks the mirror-image symmetry of the CSNP
+// snapshot layer (docs/SNAPSHOT.md): every section tag a type's encode side
+// writes (Encoder.Section in EncodeState/WriteTo/Snapshot methods) must be
+// read by the type's decode side (Decoder.Section in DecodeState/ReadFrom
+// methods or in Decode*/Read* functions returning the type), and vice
+// versa. A missing pairing is a snapshot that cannot round-trip — the class
+// of bug the snapshot-compat suite can only catch after the fact, on
+// payloads it happens to have archived.
+//
+// Attribution is by type: a Section call inside a method (or any function
+// literal nested in one) belongs to the receiver's type; a Section call in
+// a free function belongs to the package-local type the function returns a
+// pointer to (the repository's DecodeXState / ReadX convention). Tags are
+// compared as per-type sets, so writers that loop (one "shrd" section per
+// shard) and conditional readers contribute a single tag each.
+//
+// The pass also enforces the optional-section convention: a decode-side
+// Section call guarded by an if statement must consult Decoder.Remaining in
+// that guard — the documented way to probe for trailing sections written by
+// newer writers — and every section tag must be a compile-time constant,
+// because a computed tag defeats this symmetry check and the format doc.
+package snapshotpair
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/framework"
+)
+
+// Analyzer is the snapshotpair pass.
+var Analyzer = &framework.Analyzer{
+	Name: "snapshotpair",
+	Doc:  "every snapshot section written by a type's encoder must be read by its paired decoder, and vice versa",
+	Run:  run,
+}
+
+// sectionUse is one Encoder.Section or Decoder.Section call attributed to a
+// package-local type.
+type sectionUse struct {
+	tag string
+	pos token.Pos
+	fn  string // enclosing function, for the message
+}
+
+func run(pass *framework.Pass) error {
+	enc := map[*types.TypeName]map[string][]sectionUse{} // type -> tag -> writes
+	dec := map[*types.TypeName]map[string][]sectionUse{}
+	var owners []*types.TypeName
+
+	record := func(m map[*types.TypeName]map[string][]sectionUse, owner *types.TypeName, use sectionUse) {
+		if m[owner] == nil {
+			m[owner] = map[string][]sectionUse{}
+		}
+		m[owner][use.tag] = append(m[owner][use.tag], use)
+	}
+
+	seenOwner := map[*types.TypeName]bool{}
+	noteOwner := func(owner *types.TypeName) {
+		if !seenOwner[owner] {
+			seenOwner[owner] = true
+			owners = append(owners, owner)
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			owner := ownerType(pass, fd)
+			if owner == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				side, tag, ok := sectionCall(pass, call)
+				if !ok {
+					return true
+				}
+				if tag == "" {
+					pass.Reportf(call.Pos(),
+						"section tag is not a compile-time constant; snapshotpair cannot audit symmetry for %s", owner.Name())
+					return true
+				}
+				use := sectionUse{tag: tag, pos: call.Pos(), fn: fd.Name.Name}
+				noteOwner(owner)
+				if side == "Encoder" {
+					record(enc, owner, use)
+				} else {
+					record(dec, owner, use)
+					checkOptionalGuard(pass, fd, call, tag)
+				}
+				return true
+			})
+		}
+	}
+
+	for _, owner := range owners {
+		writes, reads := enc[owner], dec[owner]
+		if len(writes) > 0 && reads == nil {
+			use := firstUse(writes)
+			pass.Reportf(use.pos,
+				"%s writes snapshot sections in %s but no paired decoder (DecodeState method or Decode*/Read* function returning *%s) reads any",
+				owner.Name(), use.fn, owner.Name())
+			continue
+		}
+		for _, tag := range sortedTags(writes) {
+			if _, ok := reads[tag]; !ok {
+				use := writes[tag][0]
+				pass.Reportf(use.pos,
+					"section %q written by %s.%s is never read by %s's decoder; the snapshot cannot round-trip",
+					tag, owner.Name(), use.fn, owner.Name())
+			}
+		}
+		for _, tag := range sortedTags(reads) {
+			if _, ok := writes[tag]; !ok && len(writes) > 0 {
+				use := reads[tag][0]
+				pass.Reportf(use.pos,
+					"section %q read by %s for %s is never written by %s's encoder; the decoder would reject every real snapshot",
+					tag, use.fn, owner.Name(), owner.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// firstUse returns the position-smallest use in a tag map, for stable
+// report anchoring.
+func firstUse(m map[string][]sectionUse) sectionUse {
+	var best sectionUse
+	for _, uses := range m {
+		for _, u := range uses {
+			if best.pos == token.NoPos || u.pos < best.pos {
+				best = u
+			}
+		}
+	}
+	return best
+}
+
+func sortedTags(m map[string][]sectionUse) []string {
+	tags := make([]string, 0, len(m))
+	for t := range m {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// ownerType attributes a function to a package-local named type: the
+// receiver's type for methods, or the pointed-to result type for free
+// functions following the Decode*/Read* convention (func(...) (*T, ...)).
+func ownerType(pass *framework.Pass, fd *ast.FuncDecl) *types.TypeName {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		return namedTypeName(pass, recv.Type())
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if tn := namedTypeName(pass, results.At(i).Type()); tn != nil {
+			return tn
+		}
+	}
+	return nil
+}
+
+// namedTypeName unwraps pointers and returns the TypeName when t names a
+// type declared in the package under analysis.
+func namedTypeName(pass *framework.Pass, t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return tn
+}
+
+// sectionCall recognizes (*Encoder).Section / (*Decoder).Section calls and
+// extracts the constant tag ("" when the tag is not constant). The receiver
+// is matched by type name so fixtures and a future extracted snapshot
+// package both satisfy it.
+func sectionCall(pass *framework.Pass, call *ast.CallExpr) (side, tag string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Section" || len(call.Args) != 2 {
+		return "", "", false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Encoder", "Decoder":
+		side = named.Obj().Name()
+	default:
+		return "", "", false
+	}
+	if tv, has := pass.TypesInfo.Types[call.Args[0]]; has && tv.Value != nil && tv.Value.Kind() == constant.String {
+		tag = constant.StringVal(tv.Value)
+	}
+	return side, tag, true
+}
+
+// checkOptionalGuard enforces the optional-section convention: a decode
+// Section call nested under an if statement must have Decoder.Remaining in
+// some enclosing if condition within the same function.
+func checkOptionalGuard(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr, tag string) {
+	var guards []*ast.IfStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if ifs.Body.Pos() <= call.Pos() && call.End() <= ifs.Body.End() {
+			guards = append(guards, ifs)
+		}
+		return true
+	})
+	if len(guards) == 0 {
+		return // unconditional read: the mandatory-section case
+	}
+	for _, ifs := range guards {
+		if condUsesRemaining(pass, ifs.Cond) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"optional section %q is guarded by a condition that does not consult Decoder.Remaining; older payloads cannot be distinguished from truncated ones", tag)
+}
+
+// condUsesRemaining reports whether the condition calls a method named
+// Remaining.
+func condUsesRemaining(pass *framework.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Remaining" {
+			if _, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFn {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

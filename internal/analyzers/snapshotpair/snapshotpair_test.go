@@ -1,0 +1,11 @@
+package snapshotpair
+
+import (
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, Analyzer, "snapshotpair")
+}

@@ -1,0 +1,12 @@
+// Package dep is the imported half of the allocfree fixture: it certifies
+// one function allocation-free and leaves another uncertified, so the main
+// fixture package can exercise the cross-package fact check.
+package dep
+
+// Fast is on the hot path and allocation-free.
+//
+//caesar:hotpath certified callee for the cross-package fixture
+func Fast(x uint64) uint64 { return x * 2654435761 }
+
+// Slow is deliberately uncertified (and allocates).
+func Slow(n int) []uint64 { return make([]uint64, n) }

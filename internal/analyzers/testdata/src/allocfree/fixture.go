@@ -1,0 +1,111 @@
+// Package fixture exercises the allocfree analyzer: functions annotated
+// //caesar:hotpath, and everything they reach through static intra-package
+// calls, may not allocate. The same operations in unannotated functions are
+// fair game.
+package fixture
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/caesar-sketch/caesar/internal/analyzers/testdata/src/allocfree/dep"
+)
+
+type ring struct {
+	buf  []uint64
+	seen map[uint64]int
+	mu   sync.Mutex
+}
+
+// Observe is a hot path root; every allocating operation below is a finding.
+//
+//caesar:hotpath per-packet ingest in the fixture
+func (r *ring) Observe(x uint64) {
+	scratch := make([]uint64, 4) // want "hot path allocates with make"
+	_ = scratch
+	p := new(ring) // want "hot path allocates with new"
+	_ = p
+	r.buf = append(r.buf, x) // want "hot path append may grow its backing array"
+	r.seen[x] = 1            // want "hot path writes to a map; map insertion can allocate and rehash"
+	fmt.Println(x)           // want "hot path calls fmt.Println, which allocates"
+}
+
+// Label is hot and builds a string; concatenation allocates.
+//
+//caesar:hotpath fixture string rule
+func Label(a, b string) string {
+	return a + b // want "hot path string concatenation allocates"
+}
+
+// Capture is hot; the closure captures a local and forces it to the heap.
+//
+//caesar:hotpath fixture closure rule
+func Capture(xs []uint64) uint64 {
+	var sum uint64
+	f := func() { sum++ } // want "hot path closure captures sum, forcing a heap allocation"
+	for range xs {
+		f()
+	}
+	return sum
+}
+
+// Box is hot; storing a concrete value into an interface allocates.
+//
+//caesar:hotpath fixture boxing rule
+func Box(x uint64) interface{} {
+	var v interface{} = x // want "hot path boxes a concrete value into interface"
+	_ = v
+	return x // want "hot path boxes a concrete value into interface"
+}
+
+// Root is hot only through its annotation; helper is pulled into the hot set
+// transitively and its finding names the root.
+//
+//caesar:hotpath fixture transitive rule
+func Root(n int) []uint64 {
+	return helper(n)
+}
+
+func helper(n int) []uint64 {
+	return make([]uint64, n) // want "hot path allocates with make .in the hot set via Root."
+}
+
+// CrossPackage is hot; calls into an analyzed package must target certified
+// functions. dep.Fast carries the annotation, dep.Slow does not.
+//
+//caesar:hotpath fixture cross-package rule
+func CrossPackage(x uint64) uint64 {
+	y := dep.Fast(x)
+	bad := dep.Slow(3) // want "hot path calls dep.Slow, which is not certified allocation-free"
+	return y + uint64(len(bad))
+}
+
+// Panicking paths are off the fast path: the panic argument tree is exempt.
+//
+//caesar:hotpath fixture panic exemption
+func Checked(i, n int) int {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+	return i
+}
+
+// Waived allocation: the justification is audited by the waiver ledger.
+//
+//caesar:hotpath fixture waiver rule
+func Waived(dst []uint64, n int) []uint64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	//caesar:ignore allocfree cold fallback, steady state reuses dst
+	return make([]uint64, n)
+}
+
+// cold performs every forbidden operation without an annotation — no
+// findings.
+func cold(n int) interface{} {
+	m := map[int]string{}
+	m[n] = fmt.Sprint(n)
+	s := make([]uint64, n)
+	return append(s, uint64(n))
+}

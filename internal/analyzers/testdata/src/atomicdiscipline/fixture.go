@@ -1,0 +1,76 @@
+// Package fixture exercises the atomicdiscipline analyzer: fields touched
+// through package-level sync/atomic functions must be touched that way at
+// every site, and channel fields may be closed only under their documented
+// owner mutex, inside sync.Once.Do, or with a justified waiver.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	typed  atomic.Uint64
+}
+
+func (s *stats) bump() { atomic.AddUint64(&s.hits, 1) }
+
+func (s *stats) load() uint64 { return atomic.LoadUint64(&s.hits) }
+
+func (s *stats) torn() uint64 {
+	return s.hits // want "field hits is accessed atomically elsewhere but plainly here"
+}
+
+func (s *stats) plainOnly() { s.misses++ } // misses is never atomic: clean
+
+func (s *stats) typedOK() uint64 { return s.typed.Load() } // typed atomics: clean
+
+func newStats() *stats {
+	return &stats{hits: 0} // composite-literal key, not an access: clean
+}
+
+type worker struct {
+	mu   sync.Mutex
+	once sync.Once
+	done chan struct{}
+	exit chan struct{} // guarded by mu
+	// queues fan work out to the shards; guarded by mu.
+	queues []chan int
+}
+
+func (w *worker) undocumented() {
+	close(w.done) // want "close of channel field done with no documented owner"
+}
+
+func (w *worker) guardedClose() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	close(w.exit) // guard documented and held: clean
+}
+
+func (w *worker) forgotLock() {
+	close(w.exit) // want "close of channel field exit without holding its documented guard mu"
+}
+
+func (w *worker) onceClose() {
+	w.once.Do(func() { close(w.done) }) // once-latched: clean
+}
+
+func (w *worker) closeAll() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, q := range w.queues {
+		close(q) // range alias of a guarded field, guard held: clean
+	}
+}
+
+func (w *worker) closeOne(i int) {
+	close(w.queues[i]) // want "close of channel field queues without holding its documented guard mu"
+}
+
+func (w *worker) waived() {
+	//caesar:ignore atomicdiscipline this fixture goroutine is the sole owner of done
+	close(w.done)
+}

@@ -1,0 +1,107 @@
+// Package fixture exercises the maporder analyzer by reconstructing the
+// three map-iteration-order bugs this repository shipped and fixed by hand:
+// the PR 1 examples printed per-flow estimates in map order, the PR 2 braids
+// driver enqueued per-algorithm work from a config map, and the PR 5 query
+// runners folded per-shard float results while ranging a map. The blessed
+// collect-keys-sort-iterate idiom and commutative integer folds stay clean.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bug shape 1 (PR 1 examples): per-flow output written while ranging the
+// truth map — a different report ordering on every run.
+func printEstimates(truth map[uint64]float64) {
+	for id, est := range truth {
+		fmt.Printf("flow %d: %v\n", id, est) // want "fmt.Printf inside a range over a map writes output in nondeterministic iteration order"
+	}
+}
+
+func dumpEstimates(truth map[uint64]float64) string {
+	var report string
+	for id := range truth {
+		report += fmt.Sprint(id) // want "string accumulation into \"report\" inside a range over a map is order-sensitive"
+	}
+	return report
+}
+
+// Bug shape 2 (PR 2 braids driver): work items enqueued from a config map
+// into a slice that is never sorted, so downstream runs see a shuffled plan.
+type job struct{ name string }
+
+func enqueue(cfg map[string]int) []job {
+	var jobs []job
+	for name := range cfg {
+		jobs = append(jobs, job{name}) // want "append to \"jobs\" inside a range over a map builds the slice in nondeterministic iteration order"
+	}
+	return jobs
+}
+
+// The blessed first half of the idiom: the appended slice is sorted after
+// the loop, so iteration order cannot show. Clean.
+func enqueueSorted(cfg map[string]int) []job {
+	var jobs []job
+	for name := range cfg {
+		jobs = append(jobs, job{name})
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].name < jobs[j].name })
+	return jobs
+}
+
+// Bug shape 3 (PR 5 query runners): a floating-point fold over per-shard
+// results. Float addition does not associate, so the total drifts with
+// iteration order.
+func totalMass(shards map[int]float64) float64 {
+	var total float64
+	for _, m := range shards {
+		total += m // want "floating-point accumulation into \"total\" inside a range over a map is order-sensitive"
+	}
+	return total
+}
+
+// The spelled-out compound form is the same bug.
+func totalMassSpelled(shards map[int]float64) float64 {
+	var total float64
+	for _, m := range shards {
+		total = total + m // want "floating-point accumulation into \"total\""
+	}
+	return total
+}
+
+// Integer folds commute; iteration order cannot show. Clean.
+func totalPackets(shards map[int]uint64) uint64 {
+	var total uint64
+	for _, n := range shards {
+		total += n
+	}
+	return total
+}
+
+// Per-iteration locals do not outlive the loop. Clean.
+func perIteration(shards map[int][]float64) int {
+	count := 0
+	for _, vals := range shards {
+		var local []float64
+		local = append(local, vals...)
+		count += len(local)
+	}
+	return count
+}
+
+// Index-addressed writes land at a key-determined position regardless of
+// visit order. Clean.
+func scatter(src map[int]float64, dst []float64) {
+	for i, v := range src {
+		dst[i] = v
+	}
+}
+
+// A justified waiver suppresses the finding and is audited by the ledger.
+func waived(truth map[uint64]float64) {
+	for id := range truth {
+		//caesar:ignore maporder debug helper, ordering is cosmetic here
+		fmt.Println(id)
+	}
+}

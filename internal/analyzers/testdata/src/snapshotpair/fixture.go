@@ -1,0 +1,97 @@
+// Package fixture exercises the snapshotpair analyzer with a local mirror
+// of the CSNP Encoder/Decoder API: every section tag a type's encode side
+// writes must be read by its decode side and vice versa, optional decode
+// sections must probe Decoder.Remaining, and tags must be constants.
+package fixture
+
+// Encoder mirrors sketch.Encoder for the fixture.
+type Encoder struct{}
+
+// Section writes one tagged section.
+func (e *Encoder) Section(tag string, body func(*Encoder)) { body(e) }
+
+// U64 writes one value.
+func (e *Encoder) U64(v uint64) {}
+
+// Decoder mirrors sketch.Decoder for the fixture.
+type Decoder struct{}
+
+// Section reads one tagged section.
+func (d *Decoder) Section(tag string, body func(*Decoder)) { body(d) }
+
+// U64 reads one value.
+func (d *Decoder) U64() uint64 { return 0 }
+
+// Remaining reports how many unread sections follow.
+func (d *Decoder) Remaining() int { return 0 }
+
+// Good round-trips symmetrically, with the optional "opts" section probed
+// via Remaining. Clean.
+type Good struct{ n, opt uint64 }
+
+func (g *Good) EncodeState(e *Encoder) {
+	e.Section("core", func(e *Encoder) { e.U64(g.n) })
+	e.Section("opts", func(e *Encoder) { e.U64(g.opt) })
+}
+
+func DecodeGoodState(d *Decoder) (*Good, error) {
+	g := &Good{}
+	d.Section("core", func(d *Decoder) { g.n = d.U64() })
+	if d.Remaining() > 0 {
+		d.Section("opts", func(d *Decoder) { g.opt = d.U64() })
+	}
+	return g, nil
+}
+
+// Lopsided writes a section its decoder never reads and reads one its
+// encoder never writes.
+type Lopsided struct{ a, b uint64 }
+
+func (l *Lopsided) EncodeState(e *Encoder) {
+	e.Section("keep", func(e *Encoder) { e.U64(l.a) })
+	e.Section("drop", func(e *Encoder) { e.U64(l.b) }) // want "section \"drop\" written by Lopsided.EncodeState is never read by Lopsided's decoder"
+}
+
+func DecodeLopsidedState(d *Decoder) (*Lopsided, error) {
+	l := &Lopsided{}
+	d.Section("keep", func(d *Decoder) { l.a = d.U64() })
+	d.Section("extr", func(d *Decoder) { l.b = d.U64() }) // want "section \"extr\" read by DecodeLopsidedState for Lopsided is never written by Lopsided's encoder"
+	return l, nil
+}
+
+// Orphan has an encoder and no decode side at all: nothing can ever read
+// its snapshots back.
+type Orphan struct{ n uint64 }
+
+func (o *Orphan) EncodeState(e *Encoder) {
+	e.Section("orph", func(e *Encoder) { e.U64(o.n) }) // want "Orphan writes snapshot sections in EncodeState but no paired decoder"
+}
+
+// Guarded reads one optional section correctly (Remaining in the guard) and
+// one behind an unrelated condition, which cannot tell an older payload
+// from a truncated one.
+type Guarded struct {
+	x, y   uint64
+	legacy bool
+}
+
+func (g *Guarded) EncodeState(e *Encoder) {
+	e.Section("opt1", func(e *Encoder) { e.U64(g.x) })
+	e.Section("opt2", func(e *Encoder) { e.U64(g.y) })
+}
+
+func (g *Guarded) DecodeState(d *Decoder) {
+	if d.Remaining() > 0 {
+		d.Section("opt1", func(d *Decoder) { g.x = d.U64() })
+	}
+	if g.legacy {
+		d.Section("opt2", func(d *Decoder) { g.y = d.U64() }) // want "optional section \"opt2\" is guarded by a condition that does not consult Decoder.Remaining"
+	}
+}
+
+// Computed tags defeat the symmetry audit entirely.
+type Computed struct{ n uint64 }
+
+func (c *Computed) EncodeState(e *Encoder, tag string) {
+	e.Section(tag, func(e *Encoder) { e.U64(c.n) }) // want "section tag is not a compile-time constant; snapshotpair cannot audit symmetry for Computed"
+}

@@ -158,10 +158,7 @@ func TestDecodeOnHeavyTailedTrace(t *testing.T) {
 	for _, p := range tr.Packets {
 		s.Observe(p.Flow)
 	}
-	ids := make([]hashing.FlowID, 0, tr.NumFlows())
-	for id := range tr.Truth {
-		ids = append(ids, id)
-	}
+	ids := trace.SortedFlowIDs(tr.Truth)
 	res := s.Decode(ids, 60)
 	exact := 0
 	for i, id := range ids {

@@ -188,11 +188,15 @@ func New(cfg Config) (*Cache, error) {
 // --- open-addressed slot index ----------------------------------------------
 
 // indexHome returns the flow's preferred table position.
+//
+//caesar:hotpath index probe starting point, one hash per access
 func (c *Cache) indexHome(flow hashing.FlowID) uint32 {
 	return uint32(hashing.MixWithSeed(uint64(flow), indexSeed)) & c.idxMask
 }
 
 // indexLookup returns the slot id holding flow, or -1.
+//
+//caesar:hotpath linear probe on every packet
 func (c *Cache) indexLookup(flow hashing.FlowID) int32 {
 	h := c.indexHome(flow)
 	for {
@@ -210,6 +214,8 @@ func (c *Cache) indexLookup(flow hashing.FlowID) int32 {
 // indexInsert records that flow lives in slot s. The caller guarantees flow
 // is not already present; occupancy <= Entries <= tableSize/2 guarantees a
 // free cell exists.
+//
+//caesar:hotpath runs on every cache miss
 func (c *Cache) indexInsert(flow hashing.FlowID, s int32) {
 	h := c.indexHome(flow)
 	for c.idx[h] >= 0 {
@@ -223,6 +229,8 @@ func (c *Cache) indexInsert(flow hashing.FlowID, s int32) {
 // behind the hole is shifted back toward its home position, restoring the
 // invariant that a linear probe from any entry's home never crosses an
 // empty cell before reaching it.
+//
+//caesar:hotpath runs on every eviction
 func (c *Cache) indexDelete(flow hashing.FlowID) {
 	h := c.indexHome(flow)
 	for {
@@ -277,12 +285,16 @@ func (c *Cache) Get(flow hashing.FlowID) (uint64, bool) {
 }
 
 // Observe processes one packet of the given flow: the hot path.
+//
+//caesar:hotpath per-packet on-chip path
 func (c *Cache) Observe(flow hashing.FlowID) {
 	c.Add(flow, 1)
 }
 
 // Add accounts v units (v packets, or v bytes when counting flow volume)
 // to the flow, evicting full values of y downstream as needed.
+//
+//caesar:hotpath per-packet cache update, including the eviction branch
 func (c *Cache) Add(flow hashing.FlowID, v uint64) {
 	if v == 0 {
 		return
@@ -358,6 +370,7 @@ func (c *Cache) allocate(flow hashing.FlowID) int32 {
 	e.count = 0
 	e.inUse = true
 	e.occPos = int32(len(c.occ))
+	//caesar:ignore allocfree occ has capacity Entries reserved at construction and occupancy never exceeds Entries, so this append never grows
 	c.occ = append(c.occ, s)
 	c.indexInsert(flow, s)
 	c.pushFront(s)
@@ -385,6 +398,7 @@ func (c *Cache) release(s int32) {
 	c.occ = c.occ[:len(c.occ)-1]
 	e.inUse = false
 	e.count = 0
+	//caesar:ignore allocfree free has capacity Entries reserved at construction and holds at most Entries slot ids, so this append never grows
 	c.free = append(c.free, s)
 }
 

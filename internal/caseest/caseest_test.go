@@ -65,7 +65,8 @@ func TestAccurateWithWideCounters(t *testing.T) {
 	}
 	s.Flush()
 	var pts []stats.EstimatePoint
-	for f, actual := range truth {
+	for _, f := range trace.SortedFlowIDs(truth) {
+		actual := truth[f]
 		if actual < 20 {
 			continue
 		}
@@ -94,8 +95,8 @@ func TestCollapsesWithOneBitCounters(t *testing.T) {
 	}
 	s.Flush()
 	var pts []stats.EstimatePoint
-	for f, actual := range truth {
-		pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(f)})
+	for _, f := range trace.SortedFlowIDs(truth) {
+		pts = append(pts, stats.EstimatePoint{Actual: truth[f], Estimated: s.Estimate(f)})
 	}
 	if are := stats.AverageRelativeError(pts); are < 0.9 {
 		t.Errorf("1-bit CASE ARE = %.3f, want ~1 (estimates collapse to ~0)", are)
@@ -131,8 +132,8 @@ func TestMidWidthPartialRecovery(t *testing.T) {
 		}
 		s.Flush()
 		var pts []stats.EstimatePoint
-		for f, actual := range tr.Truth {
-			pts = append(pts, stats.EstimatePoint{Actual: actual, Estimated: s.Estimate(f)})
+		for _, f := range trace.SortedFlowIDs(tr.Truth) {
+			pts = append(pts, stats.EstimatePoint{Actual: tr.Truth[f], Estimated: s.Estimate(f)})
 		}
 		return stats.AverageRelativeError(pts)
 	}

@@ -29,6 +29,8 @@ const queryBlock = 256
 // EstimateMany reuses the estimator's scratch buffers and is therefore not
 // safe for concurrent use on one estimator; QueryAll forks per-worker views
 // for that.
+//
+//caesar:hotpath bulk query loop; guarded at runtime by TestEstimateManyZeroAllocs
 func (e *Estimator) EstimateMany(flows []hashing.FlowID, m Method, dst []float64) []float64 {
 	out := resizeFloats(dst, len(flows))
 	switch m {
@@ -40,6 +42,7 @@ func (e *Estimator) EstimateMany(flows []hashing.FlowID, m Method, dst []float64
 	return out
 }
 
+//caesar:hotpath per-flow CSM inner loop of the bulk query engine
 func (e *Estimator) estimateManyCSM(flows []hashing.FlowID, out []float64) {
 	noise := e.aggregateNoise()
 	k := e.K
@@ -69,6 +72,7 @@ func (e *Estimator) estimateManyCSM(flows []hashing.FlowID, out []float64) {
 	}
 }
 
+//caesar:hotpath per-flow MLM inner loop of the bulk query engine
 func (e *Estimator) estimateManyMLM(flows []hashing.FlowID, out []float64) {
 	noise := e.aggregateNoise()
 	k := e.K
@@ -168,6 +172,7 @@ func resizeFloats(dst []float64, n int) []float64 {
 	if cap(dst) >= n {
 		return dst[:n]
 	}
+	//caesar:ignore allocfree cold fallback when the caller's dst lacks capacity; the steady state reuses dst and never reaches this make
 	return make([]float64, n)
 }
 

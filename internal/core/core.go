@@ -133,6 +133,8 @@ func New(cfg Config) (*Sketch, error) {
 func (s *Sketch) Config() Config { return s.cfg }
 
 // Observe processes one packet of the given flow (construction hot path).
+//
+//caesar:hotpath per-packet entry point; guarded at runtime by TestSketchObserveZeroAllocs
 func (s *Sketch) Observe(flow hashing.FlowID) {
 	if s.flushed {
 		panic("core: Observe after Flush; construction phase is over")
@@ -144,6 +146,8 @@ func (s *Sketch) Observe(flow hashing.FlowID) {
 // ObserveBatch processes a batch of packets, one unit each. It hoists the
 // construction-phase check out of the per-packet loop, which is the batch
 // entry point's whole advantage over calling Observe in a loop.
+//
+//caesar:hotpath batch ingest entry point
 func (s *Sketch) ObserveBatch(flows []hashing.FlowID) {
 	if s.flushed {
 		panic("core: Observe after Flush; construction phase is over")
@@ -157,6 +161,8 @@ func (s *Sketch) ObserveBatch(flows []hashing.FlowID) {
 // Add accounts units to the flow in one shot — the flow-volume (byte
 // counting) mode of Section 3.1. Size the cache capacity y in the same
 // units (e.g. 2x the mean flow volume).
+//
+//caesar:hotpath per-packet volume-mode entry point
 func (s *Sketch) Add(flow hashing.FlowID, units uint64) {
 	if s.flushed {
 		panic("core: Add after Flush; construction phase is over")
@@ -174,6 +180,8 @@ func (s *Sketch) ObservePacket(t hashing.FiveTuple) {
 // all k mapped counters, then place each of the q remainder units on a
 // uniformly random counter among the k. Each mapped counter receives at
 // most one off-chip write per eviction (increments are coalesced).
+//
+//caesar:hotpath runs on every cache eviction, inside the Observe path
 func (s *Sketch) onEvict(flow hashing.FlowID, value uint64, _ cache.Reason) {
 	k := uint64(s.cfg.K)
 	p := value / k

@@ -225,7 +225,8 @@ func TestEndToEndAccuracyAndCoverage(t *testing.T) {
 	var truths []float64
 	var meanResidual float64
 	big := 10 * tr.MeanFlowSize()
-	for id, actual := range tr.Truth {
+	for _, id := range trace.SortedFlowIDs(tr.Truth) {
+		actual := tr.Truth[id]
 		est := e.CSM(id)
 		xs = append(xs, float64(actual))
 		ys = append(ys, est)

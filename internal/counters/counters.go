@@ -55,6 +55,8 @@ func MustArray(l, bits int) *Array {
 }
 
 // Len returns L, the number of counters.
+//
+//caesar:hotpath read in the noise term of every bulk query pass
 func (a *Array) Len() int { return len(a.vals) }
 
 // Bits returns the per-counter width.
@@ -69,6 +71,8 @@ func (a *Array) Get(i int) uint64 { return a.vals[i] }
 // Add adds v to counter i, saturating at Cap. It counts as one off-chip
 // write regardless of v (the paper's update coalesces an eviction's aliquot
 // part into a single addition per counter).
+//
+//caesar:hotpath the off-chip write of every eviction
 func (a *Array) Add(i int, v uint64) {
 	a.writes++
 	cur := a.vals[i]
@@ -143,6 +147,8 @@ func (a *Array) SubSRAM(idx []uint32, dst []uint64) []uint64 {
 // (the offline query engine sums millions of sub-SRAMs and cannot afford a
 // method call per counter read). The slice is shared, not a copy: callers
 // must not modify it.
+//
+//caesar:hotpath bulk gather source for EstimateMany
 func (a *Array) Values() []uint64 { return a.vals }
 
 // MemoryKB returns the paper's SRAM size accounting for this array:

@@ -17,6 +17,7 @@ import (
 	"github.com/caesar-sketch/caesar/internal/sampling"
 	"github.com/caesar-sketch/caesar/internal/sketch"
 	"github.com/caesar-sketch/caesar/internal/stats"
+	"github.com/caesar-sketch/caesar/internal/trace"
 	"github.com/caesar-sketch/caesar/internal/vhc"
 )
 
@@ -797,9 +798,11 @@ func AblationVolume(w *Workload) (*Report, error) {
 		s.Add(p.Flow, uint64(p.Bytes))
 	}
 	e := s.Estimator()
+	// Sorted flow order: the accuracy fold is float arithmetic, so map
+	// iteration order would make the report nondeterministic.
 	pts := make([]stats.EstimatePoint, 0, len(byteTruth))
-	for id, b := range byteTruth {
-		pts = append(pts, stats.EstimatePoint{Actual: int(b), Estimated: e.CSM(id)})
+	for _, id := range trace.SortedFlowIDs(byteTruth) {
+		pts = append(pts, stats.EstimatePoint{Actual: int(byteTruth[id]), Estimated: e.CSM(id)})
 	}
 	acc := MeasureAccuracy("CAESAR/bytes", pts, 10*meanBytes)
 

@@ -139,7 +139,7 @@ func TestTruncate(t *testing.T) {
 		{0, 0},
 		{0.5, 5},
 		{1, 10},
-		{-1, 0},  // clamped low
+		{-1, 0},   // clamped low
 		{2.5, 10}, // clamped high
 	}
 	for _, c := range cases {

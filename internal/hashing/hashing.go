@@ -103,6 +103,8 @@ func FNV64(data []byte) uint64 {
 // the workhorse for deriving the k counter indices and the per-eviction
 // random choices: cheap, stateless, and exactly reproducible, which is what
 // a hardware hash unit gives you.
+//
+//caesar:hotpath the hash primitive under every index selection
 func Mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
@@ -115,6 +117,8 @@ func Mix64(x uint64) uint64 {
 // MixWithSeed combines a value with a seed and finalizes. Different seeds
 // yield (empirically) independent hash functions, standing in for the k
 // different collision-free hash functions of Section 3.1.
+//
+//caesar:hotpath hashes the cache index probe on every packet
 func MixWithSeed(x, seed uint64) uint64 {
 	return Mix64(x ^ Mix64(seed^0x9e3779b97f4a7c15))
 }
@@ -208,6 +212,8 @@ func (s *KSelector) L() int { return int(s.l) }
 // Select appends the flow's k distinct counter indices to dst and returns
 // the extended slice. Passing a reusable dst avoids per-call allocation on
 // the hot path. The result is deterministic in (flow, seed).
+//
+//caesar:hotpath runs on every eviction; slices.Grow is a no-op for a reused dst
 func (s *KSelector) Select(flow FlowID, dst []uint32) []uint32 {
 	start := len(dst)
 	dst = slices.Grow(dst, s.k)[:start+s.k]
@@ -220,6 +226,8 @@ func (s *KSelector) Select(flow FlowID, dst []uint32) []uint32 {
 // appended region — and returns the extended slice. With a reused dst of
 // sufficient capacity it performs no allocation at all, which is what the
 // bulk query engine's steady state relies on.
+//
+//caesar:hotpath index selection inside the bulk query inner loop
 func (s *KSelector) SelectBlock(flows []FlowID, dst []uint32) []uint32 {
 	start := len(dst)
 	n := s.k * len(flows)
@@ -306,12 +314,16 @@ type PRNG struct{ state uint64 }
 func NewPRNG(seed uint64) *PRNG { return &PRNG{state: seed} }
 
 // Next returns the next 64-bit value.
+//
+//caesar:hotpath drawn per remainder unit on every eviction
 func (p *PRNG) Next() uint64 {
 	p.state += 0x9e3779b97f4a7c15
 	return Mix64(p.state)
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
+//
+//caesar:hotpath random counter choice and random eviction policy
 func (p *PRNG) Intn(n int) int {
 	if n <= 0 {
 		panic("hashing: Intn requires n > 0")

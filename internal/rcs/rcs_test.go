@@ -164,7 +164,8 @@ func TestEquivalentNoiseBehaviorToTrace(t *testing.T) {
 	e := s.Estimator()
 	var residual float64
 	var big []stats.EstimatePoint
-	for id, a := range tr.Truth {
+	for _, id := range trace.SortedFlowIDs(tr.Truth) {
+		a := tr.Truth[id]
 		est := e.CSM(id)
 		residual += est - float64(a)
 		if float64(a) >= 10*tr.MeanFlowSize() {

@@ -69,13 +69,29 @@ func (t *Trace) ByteTruth() map[hashing.FlowID]uint64 {
 	return out
 }
 
-// FlowSizes returns the ground-truth sizes as a slice (order unspecified).
+// FlowSizes returns the ground-truth sizes in ascending flow-ID order.
+// Iterating t.Truth directly would yield a different order every run (map
+// iteration is randomized), which leaks into any order-sensitive consumer
+// — float statistics, printed distributions — and breaks reproducibility.
 func (t *Trace) FlowSizes() []int {
 	sizes := make([]int, 0, len(t.Truth))
-	for _, s := range t.Truth {
-		sizes = append(sizes, s)
+	for _, id := range SortedFlowIDs(t.Truth) {
+		sizes = append(sizes, t.Truth[id])
 	}
 	return sizes
+}
+
+// SortedFlowIDs returns the keys of a per-flow map in ascending flow-ID
+// order: the deterministic way to iterate ground-truth maps when the
+// consumer is order-sensitive. (Ranging over the map feeds results in
+// nondeterministic order — the bug class the maporder lint pass flags.)
+func SortedFlowIDs[V any](m map[hashing.FlowID]V) []hashing.FlowID {
+	ids := make([]hashing.FlowID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // MaxFlowSize returns the largest ground-truth flow size.

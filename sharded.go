@@ -344,6 +344,7 @@ func NewShardedOptions(n int, cfg Config, opts ShardedOptions) (*Sharded, error)
 // consumer and every abandoned packet is accounted.
 func (s *Sharded) worker(i int) {
 	defer s.wg.Done()
+	//caesar:ignore atomicdiscipline worker i is the sole closer of its own exit latch; no other goroutine ever closes or sends on workerExited[i]
 	defer close(s.workerExited[i])
 	for batch := range s.queues[i] {
 		if s.aborted() {
@@ -832,6 +833,7 @@ func (s *Sharded) closeWith(ctx context.Context) error {
 		timedOut = true
 	}
 	for _, q := range s.queues {
+		//caesar:ignore atomicdiscipline closeWith runs once (guarded by the closed flag under mu) and waits on sendWG above, so no sender can race these closes
 		close(q)
 	}
 	if !s.waitOrAbort(ctx, &s.wg) {
