@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos fuzz-smoke snapshot-compat bench-json bench-smoke ci
+.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos fuzz-smoke snapshot-compat bench-json bench-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -80,4 +80,12 @@ bench-smoke:
 	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs' -count=1 .
 	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
 
-ci: build vet test race lint lint-vettool lint-waivers chaos fuzz-smoke snapshot-compat bench-smoke
+# End-to-end drill of the live measurement service (docs/SERVICE.md):
+# builds the real caesar-serve binary, boots it on a trace replay with
+# checkpointing, queries every endpoint, SIGKILLs the process, restarts it
+# from the checkpoint, and requires the sealed epochs to answer
+# bit-identically across the crash.
+serve-smoke:
+	$(GO) test -run=TestServeSmoke -count=1 -v ./cmd/caesar-serve
+
+ci: build vet test race lint lint-vettool lint-waivers chaos fuzz-smoke snapshot-compat bench-smoke serve-smoke

@@ -155,10 +155,10 @@ func (w *Window) EstimateMany(flows []FlowID, m Method, dst []float64) []float64
 	}
 	cm := coreMethod(m)
 	scratch := make([]float64, len(flows))
-	for _, e := range w.sealed {
-		scratch = e.e.EstimateMany(flows, cm, scratch)
-		for i, v := range scratch {
-			out[i] += v
+	for i, n := 0, w.lc.Len(); i < n; i++ {
+		scratch = w.lc.At(i).e.EstimateMany(flows, cm, scratch)
+		for j, v := range scratch {
+			out[j] += v
 		}
 	}
 	return out

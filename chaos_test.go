@@ -512,6 +512,166 @@ func TestChaosSnapshotCarriesLossLedger(t *testing.T) {
 	}
 }
 
+// assertWindowAccounting pins the window-wide ledger invariant after Close:
+// every packet observed through any handle across every rotation is either
+// applied to some epoch's counters or counted in some epoch's drop ledger.
+func assertWindowAccounting(t *testing.T, w *ShardedWindow, observed uint64) Stats {
+	t.Helper()
+	if got := w.NumPackets() + w.DroppedPackets(); got != observed {
+		t.Fatalf("window accounting broken: NumPackets %d + dropped %d = %d, want observed %d",
+			w.NumPackets(), w.DroppedPackets(), got, observed)
+	}
+	st := w.Stats()
+	if got := uint64(st.Packets) + st.DroppedPackets; got != observed {
+		t.Fatalf("window Stats accounting broken: Packets %d + dropped %d = %d, want observed %d (ledger %+v)",
+			st.Packets, st.DroppedPackets, got, observed, st)
+	}
+	return st
+}
+
+// TestChaosShardedWindowRotationStress rotates a ShardedWindow under
+// concurrent multi-handle ingest and concurrent queries: producers never
+// stop while epochs seal, retire, and join the query ring, and at the end
+// the lifetime ledger must balance exactly — the seal barrier may reorder
+// packets between epochs but can never lose or double-count one.
+func TestChaosShardedWindowRotationStress(t *testing.T) {
+	w, err := NewShardedWindowOptions(3, 4, chaosConfig(), ShardedOptions{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 4
+	var observed atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := w.Ingester()
+			batch := make([]FlowID, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(FlowID(p*1000 + i%97))
+				observed.Add(1)
+				if i%64 == 0 {
+					for j := range batch {
+						batch[j] = FlowID(p*1000 + j)
+					}
+					h.ObserveBatch(batch)
+					observed.Add(uint64(len(batch)))
+				}
+			}
+		}(p)
+	}
+	// Queries race the rotations on purpose.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flows := []FlowID{1, 1001, 2001, 3001}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = w.Estimate(flows[0], CSM)
+			_ = w.EstimateMany(flows, CSM, nil)
+			_ = w.DroppedPackets()
+			_ = w.Stats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// 5 rotations against a 3-epoch ring exercises retirement twice.
+	for r := 0; r < 5; r++ {
+		time.Sleep(10 * time.Millisecond)
+		if err := w.Rotate(); err != nil {
+			t.Fatalf("rotation %d: %v", r, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rotations() != 6 || w.EpochsSealed() != 3 {
+		t.Fatalf("rotations=%d sealed=%d, want 6 and 3", w.Rotations(), w.EpochsSealed())
+	}
+	st := assertWindowAccounting(t, w, observed.Load())
+	if st.DroppedPackets != 0 {
+		t.Fatalf("Block policy dropped %d packets across rotations, want 0 (ledger %+v)", st.DroppedPackets, st)
+	}
+}
+
+// TestChaosShardedWindowPanicMidSeal arms a worker panic to fire during the
+// seal barrier itself: BatchSize is large enough that the producer's packets
+// sit in handle buffers until the seal flushes them, so the first batch the
+// target shard ever applies is the one the seal dispatches. The sealed epoch
+// must join the ring Degraded with the abandoned packets counted, the next
+// epoch must ingest healthily, and the lifetime ledger must stay exact.
+func TestChaosShardedWindowPanicMidSeal(t *testing.T) {
+	const target = 1
+	var armed atomic.Bool
+	var panics atomic.Uint64
+	w, err := NewShardedWindowOptions(2, 4, chaosConfig(), ShardedOptions{
+		BatchSize: 1024, // packets stay buffered in the handle until the seal
+		Hooks: ShardedHooks{OnWorkerBatch: func(shard, packets int) {
+			if shard == target && armed.CompareAndSwap(true, false) {
+				panics.Add(1)
+				panic("chaos: injected mid-seal panic")
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Ingester()
+	const firstEpoch = 600
+	for i := 0; i < firstEpoch; i++ {
+		h.Observe(FlowID(i % 97))
+	}
+	armed.Store(true)
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if panics.Load() != 1 {
+		t.Fatal("the seal barrier never dispatched a batch to the armed worker; the fault was not exercised")
+	}
+	views := w.Epochs()
+	if len(views) != 1 {
+		t.Fatalf("Epochs() = %d views after one rotation, want 1", len(views))
+	}
+	sealed := views[0].Stats()
+	if sealed.Health != Degraded || sealed.QuarantinedShards != 1 {
+		t.Fatalf("sealed epoch Health = %v with %d quarantined shards, want Degraded with 1", sealed.Health, sealed.QuarantinedShards)
+	}
+	if sealed.DroppedQuarantine == 0 {
+		t.Fatal("mid-seal panic abandoned no packets in the sealed epoch's ledger")
+	}
+	if got := views[0].NumPackets() + views[0].DroppedPackets(); got != firstEpoch {
+		t.Fatalf("sealed epoch accounts %d packets, want %d", got, firstEpoch)
+	}
+	// The next epoch is a fresh shard set: the quarantine must not leak.
+	if w.Health() != Healthy {
+		t.Fatalf("next epoch Health = %v, want Healthy", w.Health())
+	}
+	const secondEpoch = 500
+	for i := 0; i < secondEpoch; i++ {
+		h.Observe(FlowID(i % 97))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := assertWindowAccounting(t, w, firstEpoch+secondEpoch)
+	if st.DroppedQuarantine != sealed.DroppedQuarantine {
+		t.Fatalf("window quarantine drops %d, want only the sealed epoch's %d (the fault must not recur)",
+			st.DroppedQuarantine, sealed.DroppedQuarantine)
+	}
+}
+
 // TestChaosLossAdjustedEstimate drops ~half the traffic and checks that the
 // loss-adjusted estimate recenters on the true flow size while the raw
 // estimate covers only the recorded fraction — the paper's lossy-RCS

@@ -1,0 +1,197 @@
+// Command caesar-serve is the live measurement service: a ShardedWindow
+// ingesting continuously (from a CTR1 trace replay and/or the /observe
+// endpoint) while an HTTP JSON API answers estimates, detector verdicts,
+// and observability counters from the sealed epochs — the paper's two-phase
+// architecture folded into one long-running process, with the query phase
+// always one rotation behind the construction phase.
+//
+// Usage:
+//
+//	caesar-serve [-listen 127.0.0.1:0] [-trace t.ctr1] [-snapshot state.csnp]
+//	             [-epochs 4] [-shards 0] [-rotate-every 10s] ...
+//
+// Endpoints: GET /healthz /stats /drops /epochs /estimate /topk /alerts
+// /changes; POST /observe /rotate /snapshot. See docs/SERVICE.md.
+//
+// With -snapshot, the window is checkpointed crash-safely after every
+// rotation; on startup the file, if present, is loaded and measurement
+// resumes where the last checkpoint sealed (the epoch that was open at the
+// crash is lost — exactly the sealed-epoch query surface the API serves).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/caesar-sketch/caesar"
+	"github.com/caesar-sketch/caesar/internal/trace"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:0", "HTTP listen address; port 0 picks a free port")
+		tracePath    = flag.String("trace", "", "CTR1 trace file to replay as the ingest source")
+		replayLoop   = flag.Bool("replay-loop", false, "restart the trace replay when it is exhausted")
+		replayPause  = flag.Duration("replay-pause", 0, "pause between replayed batches (throttles ingest)")
+		snapPath     = flag.String("snapshot", "", "checkpoint file: written after every rotation, loaded on start when present")
+		epochs       = flag.Int("epochs", 4, "sealed epochs the sliding window retains")
+		shards       = flag.Int("shards", 0, "ingest shards per epoch; 0 = GOMAXPROCS")
+		rotateEvery  = flag.Duration("rotate-every", 0, "rotate on this period; 0 = only on POST /rotate")
+		counters     = flag.Int("counters", 1<<16, "off-chip counters per epoch (L)")
+		cacheEntries = flag.Int("cache-entries", 1<<12, "on-chip cache entries per epoch (M)")
+		cacheCap     = flag.Uint64("cache-cap", 64, "cache entry capacity (y)")
+		seed         = flag.Uint64("seed", 1, "base hash seed; epochs derive theirs from it")
+	)
+	flag.Parse()
+
+	w, restored, err := openWindow(*snapPath, *epochs, *shards, caesar.Config{
+		Counters:      *counters,
+		CacheEntries:  *cacheEntries,
+		CacheCapacity: *cacheCap,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatalf("caesar-serve: %v", err)
+	}
+	defer w.Close()
+	if restored {
+		log.Printf("caesar-serve: restored %d sealed epochs (%d rotations, %d packets) from %s",
+			w.EpochsSealed(), w.Rotations(), w.NumPackets(), *snapPath)
+	}
+
+	srv := newServer(w, *snapPath)
+
+	// The trace replay is the daemon's line-rate producer: one Ingester
+	// handle, batches straight out of the packet array.
+	stopReplay := make(chan struct{})
+	replayDone := make(chan struct{})
+	if *tracePath != "" {
+		tr, err := loadTrace(*tracePath)
+		if err != nil {
+			log.Fatalf("caesar-serve: %v", err)
+		}
+		srv.addCandidates(trace.SortedFlowIDs(tr.Truth))
+		go replay(w, tr, *replayLoop, *replayPause, stopReplay, replayDone)
+		log.Printf("caesar-serve: replaying %d packets over %d flows from %s (loop=%v)",
+			tr.NumPackets(), tr.NumFlows(), *tracePath, *replayLoop)
+	} else {
+		close(replayDone)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("caesar-serve: listen: %v", err)
+	}
+	// The smoke test (and any supervisor) parses this exact line to learn
+	// the bound port; keep it first on stdout and stable.
+	fmt.Printf("caesar-serve: listening on http://%s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *rotateEvery > 0 {
+		ticker := time.NewTicker(*rotateEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if err := srv.rotate(); err != nil {
+					log.Printf("caesar-serve: periodic rotate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("caesar-serve: serve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("caesar-serve: %v: sealing and checkpointing", s)
+		close(stopReplay)
+		<-replayDone
+		_ = httpSrv.Close()
+		// Seal the open epoch so the final checkpoint carries everything
+		// ingested, then write it. A crash (SIGKILL) skips this path by
+		// definition — then the previous rotation's checkpoint holds.
+		if err := srv.rotate(); err != nil {
+			log.Printf("caesar-serve: final seal: %v", err)
+		}
+	}
+}
+
+// openWindow loads the checkpoint when one exists, otherwise builds a fresh
+// window. The checkpoint carries its own configuration; the command-line
+// sketch parameters apply only to fresh starts.
+func openWindow(snapPath string, epochs, shards int, cfg caesar.Config) (*caesar.ShardedWindow, bool, error) {
+	if snapPath != "" {
+		f, err := os.Open(snapPath)
+		if err == nil {
+			defer f.Close()
+			w, err := caesar.ReadShardedWindow(f)
+			if err != nil {
+				return nil, false, fmt.Errorf("restore %s: %w", snapPath, err)
+			}
+			return w, true, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, false, err
+		}
+	}
+	w, err := caesar.NewShardedWindow(epochs, shards, cfg)
+	return w, false, err
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// replay feeds the trace's packets through one producer handle in fixed
+// batches until the trace ends (or forever with loop), pausing between
+// batches when asked to model a slower source.
+func replay(w *caesar.ShardedWindow, tr *trace.Trace, loop bool, pause time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	h := w.Ingester()
+	const batch = 512
+	buf := make([]caesar.FlowID, 0, batch)
+	for {
+		for i := 0; i < len(tr.Packets); i += batch {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = buf[:0]
+			for j := i; j < i+batch && j < len(tr.Packets); j++ {
+				buf = append(buf, tr.Packets[j].Flow)
+			}
+			h.ObserveBatch(buf)
+			if pause > 0 {
+				select {
+				case <-stop:
+					return
+				case <-time.After(pause):
+				}
+			}
+		}
+		if !loop {
+			return
+		}
+	}
+}

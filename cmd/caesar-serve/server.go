@@ -1,0 +1,428 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/caesar-sketch/caesar"
+	"github.com/caesar-sketch/caesar/detect"
+)
+
+// server wires a live ShardedWindow, the detect package, and the snapshot
+// layer behind an HTTP JSON API. All handlers are safe for concurrent use:
+// the window serializes its own queries, and the candidate set (the flow
+// memory the sketch deliberately does not keep) has its own lock.
+type server struct {
+	w *caesar.ShardedWindow
+
+	candMu sync.Mutex
+	cand   detect.Candidates
+
+	// snapPath, when set, receives a crash-safe snapshot after every
+	// rotation and on demand; "" disables snapshotting.
+	snapPath string
+	snapMu   sync.Mutex
+
+	// rotateMu keeps HTTP-triggered and timer-triggered rotations from
+	// interleaving their rotate-then-snapshot sequences.
+	rotateMu sync.Mutex
+}
+
+func newServer(w *caesar.ShardedWindow, snapPath string) *server {
+	return &server{w: w, snapPath: snapPath}
+}
+
+// addCandidates records flows into the detector candidate set.
+func (s *server) addCandidates(flows []caesar.FlowID) {
+	s.candMu.Lock()
+	s.cand.AddBatch(flows)
+	s.candMu.Unlock()
+}
+
+// candidates returns a stable copy of the candidate set.
+func (s *server) candidates() []caesar.FlowID {
+	s.candMu.Lock()
+	defer s.candMu.Unlock()
+	return append([]caesar.FlowID(nil), s.cand.Flows()...)
+}
+
+// rotate seals the current epoch and, when configured, checkpoints the
+// window. The snapshot happens after the seal so it always includes the
+// epoch that just closed.
+func (s *server) rotate() error {
+	s.rotateMu.Lock()
+	defer s.rotateMu.Unlock()
+	if err := s.w.Rotate(); err != nil {
+		return err
+	}
+	return s.snapshot()
+}
+
+// snapshot checkpoints the window crash-safely (temp file, fsync, atomic
+// rename), so a crash mid-write never destroys the previous good file.
+func (s *server) snapshot() error {
+	if s.snapPath == "" {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.w.SnapshotFile(s.snapPath)
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /drops", s.handleDrops)
+	mux.HandleFunc("GET /epochs", s.handleEpochs)
+	mux.HandleFunc("GET /estimate", s.handleEstimate)
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /changes", s.handleChanges)
+	mux.HandleFunc("POST /observe", s.handleObserve)
+	mux.HandleFunc("POST /rotate", s.handleRotate)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		log.Printf("caesar-serve: encode response: %v", err)
+	}
+}
+
+func httpError(rw http.ResponseWriter, code int, format string, args ...any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseFlow accepts decimal or 0x-prefixed hex flow IDs.
+func parseFlow(s string) (caesar.FlowID, error) {
+	base := 10
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		s, base = s[2:], 16
+	}
+	v, err := strconv.ParseUint(s, base, 64)
+	return caesar.FlowID(v), err
+}
+
+func parseMethod(s string) (caesar.Method, error) {
+	switch strings.ToLower(s) {
+	case "", "csm":
+		return caesar.CSM, nil
+	case "mlm":
+		return caesar.MLM, nil
+	}
+	return caesar.CSM, fmt.Errorf("unknown method %q (want csm or mlm)", s)
+}
+
+type healthzResponse struct {
+	Health         string  `json:"health"`
+	EpochsSealed   int     `json:"epochs_sealed"`
+	Rotations      int     `json:"rotations"`
+	NumPackets     uint64  `json:"num_packets"`
+	DroppedPackets uint64  `json:"dropped_packets"`
+	LossRate       float64 `json:"loss_rate"`
+}
+
+func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, healthzResponse{
+		Health:         s.w.Health().String(),
+		EpochsSealed:   s.w.EpochsSealed(),
+		Rotations:      s.w.Rotations(),
+		NumPackets:     s.w.NumPackets(),
+		DroppedPackets: s.w.DroppedPackets(),
+		LossRate:       s.w.EffectiveLossRate(),
+	})
+}
+
+type statsResponse struct {
+	Packets           int     `json:"packets"`
+	CacheHits         int     `json:"cache_hits"`
+	CacheMisses       int     `json:"cache_misses"`
+	SRAMWrites        int     `json:"sram_writes"`
+	CacheKB           float64 `json:"cache_kb"`
+	SRAMKB            float64 `json:"sram_kb"`
+	DroppedPackets    uint64  `json:"dropped_packets"`
+	QuarantinedShards int     `json:"quarantined_shards"`
+	Health            string  `json:"health"`
+	EffectiveLossRate float64 `json:"effective_loss_rate"`
+	EpochsSealed      int     `json:"epochs_sealed"`
+	Rotations         int     `json:"rotations"`
+	NumShards         int     `json:"num_shards"`
+	Candidates        int     `json:"candidates"`
+}
+
+func (s *server) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	st := s.w.Stats()
+	s.candMu.Lock()
+	nc := s.cand.Len()
+	s.candMu.Unlock()
+	writeJSON(rw, statsResponse{
+		Packets:           st.Packets,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		SRAMWrites:        st.SRAMWrites,
+		CacheKB:           st.CacheKB,
+		SRAMKB:            st.SRAMKB,
+		DroppedPackets:    st.DroppedPackets,
+		QuarantinedShards: st.QuarantinedShards,
+		Health:            st.Health.String(),
+		EffectiveLossRate: st.EffectiveLossRate,
+		EpochsSealed:      s.w.EpochsSealed(),
+		Rotations:         s.w.Rotations(),
+		NumShards:         s.w.NumShards(),
+		Candidates:        nc,
+	})
+}
+
+type dropsResponse struct {
+	DroppedPackets    uint64 `json:"dropped_packets"`
+	DroppedOverflow   uint64 `json:"dropped_overflow"`
+	DroppedSampled    uint64 `json:"dropped_sampled"`
+	DroppedQuarantine uint64 `json:"dropped_quarantine"`
+	DroppedTimeout    uint64 `json:"dropped_timeout"`
+	DroppedAfterClose uint64 `json:"dropped_after_close"`
+	DroppedInjected   uint64 `json:"dropped_injected"`
+	DroppedBatches    uint64 `json:"dropped_batches"`
+}
+
+func (s *server) handleDrops(rw http.ResponseWriter, _ *http.Request) {
+	st := s.w.Stats()
+	writeJSON(rw, dropsResponse{
+		DroppedPackets:    st.DroppedPackets,
+		DroppedOverflow:   st.DroppedOverflow,
+		DroppedSampled:    st.DroppedSampled,
+		DroppedQuarantine: st.DroppedQuarantine,
+		DroppedTimeout:    st.DroppedTimeout,
+		DroppedAfterClose: st.DroppedAfterClose,
+		DroppedInjected:   st.DroppedInjected,
+		DroppedBatches:    st.DroppedBatches,
+	})
+}
+
+type epochResponse struct {
+	Rotation       int    `json:"rotation"`
+	NumPackets     uint64 `json:"num_packets"`
+	DroppedPackets uint64 `json:"dropped_packets"`
+	Health         string `json:"health"`
+}
+
+func (s *server) handleEpochs(rw http.ResponseWriter, _ *http.Request) {
+	views := s.w.Epochs()
+	out := make([]epochResponse, 0, len(views))
+	for _, v := range views {
+		st := v.Stats()
+		out = append(out, epochResponse{
+			Rotation:       v.Rotation(),
+			NumPackets:     v.NumPackets(),
+			DroppedPackets: v.DroppedPackets(),
+			Health:         st.Health.String(),
+		})
+	}
+	writeJSON(rw, out)
+}
+
+type estimateResponse struct {
+	Flow     caesar.FlowID `json:"flow"`
+	Estimate float64       `json:"estimate"`
+	Lo       *float64      `json:"lo,omitempty"`
+	Hi       *float64      `json:"hi,omitempty"`
+}
+
+// handleEstimate answers /estimate?flow=ID[&flow=ID...][&method=csm|mlm]
+// [&alpha=0.95]. With alpha set, each flow also gets its confidence bounds;
+// without it, multiple flows answer through one bulk pass.
+func (s *server) handleEstimate(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	raw := q["flow"]
+	if len(raw) == 0 {
+		httpError(rw, http.StatusBadRequest, "at least one flow parameter is required")
+		return
+	}
+	flows := make([]caesar.FlowID, 0, len(raw))
+	for _, fs := range raw {
+		f, err := parseFlow(fs)
+		if err != nil {
+			httpError(rw, http.StatusBadRequest, "bad flow %q: %v", fs, err)
+			return
+		}
+		flows = append(flows, f)
+	}
+	m, err := parseMethod(q.Get("method"))
+	if err != nil {
+		httpError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := make([]estimateResponse, len(flows))
+	if as := q.Get("alpha"); as != "" {
+		alpha, err := strconv.ParseFloat(as, 64)
+		if err != nil || alpha <= 0 || alpha >= 1 {
+			httpError(rw, http.StatusBadRequest, "bad alpha %q: want a value in (0,1)", as)
+			return
+		}
+		for i, f := range flows {
+			est, iv := s.w.EstimateWithInterval(f, alpha)
+			lo, hi := iv.Lo, iv.Hi
+			out[i] = estimateResponse{Flow: f, Estimate: est, Lo: &lo, Hi: &hi}
+		}
+	} else {
+		ests := s.w.EstimateMany(flows, m, nil)
+		for i, f := range flows {
+			out[i] = estimateResponse{Flow: f, Estimate: ests[i]}
+		}
+	}
+	writeJSON(rw, out)
+}
+
+type topKResponse struct {
+	Flow     caesar.FlowID `json:"flow"`
+	Estimate float64       `json:"estimate"`
+}
+
+// handleTopK answers /topk?k=N[&method=csm|mlm]: the k largest flows of the
+// sealed window out of the observed candidate set.
+func (s *server) handleTopK(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k := 10
+	if ks := q.Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 {
+			httpError(rw, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+		k = v
+	}
+	m, err := parseMethod(q.Get("method"))
+	if err != nil {
+		httpError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	top := detect.TopK(s.w, s.candidates(), m, k, 0)
+	out := make([]topKResponse, len(top))
+	for i, f := range top {
+		out[i] = topKResponse{Flow: f.ID, Estimate: f.Estimate}
+	}
+	writeJSON(rw, out)
+}
+
+type alertResponse struct {
+	Flow     caesar.FlowID `json:"flow"`
+	Estimate float64       `json:"estimate"`
+	Lo       float64       `json:"lo"`
+}
+
+// handleAlerts answers /alerts?threshold=X[&alpha=0.95]: every candidate
+// whose confidence interval sits entirely above the threshold.
+func (s *server) handleAlerts(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ts := q.Get("threshold")
+	if ts == "" {
+		httpError(rw, http.StatusBadRequest, "threshold parameter is required")
+		return
+	}
+	threshold, err := strconv.ParseFloat(ts, 64)
+	if err != nil {
+		httpError(rw, http.StatusBadRequest, "bad threshold %q: %v", ts, err)
+		return
+	}
+	alpha := 0.95
+	if as := q.Get("alpha"); as != "" {
+		alpha, err = strconv.ParseFloat(as, 64)
+		if err != nil || alpha <= 0 || alpha >= 1 {
+			httpError(rw, http.StatusBadRequest, "bad alpha %q: want a value in (0,1)", as)
+			return
+		}
+	}
+	alerts := detect.OverThreshold(s.w, s.candidates(), alpha, threshold)
+	out := make([]alertResponse, len(alerts))
+	for i, a := range alerts {
+		out[i] = alertResponse{Flow: a.ID, Estimate: a.Estimate, Lo: a.Lo}
+	}
+	writeJSON(rw, out)
+}
+
+type changeResponse struct {
+	Flow   caesar.FlowID `json:"flow"`
+	Before float64       `json:"before"`
+	After  float64       `json:"after"`
+	Delta  float64       `json:"delta"`
+}
+
+// handleChanges answers /changes?min=X[&method=csm|mlm]: candidates whose
+// estimate moved by at least min packets between the two newest sealed
+// epochs. Needs two sealed epochs; answers empty before the second seal.
+func (s *server) handleChanges(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	minDelta := 0.0
+	if ms := q.Get("min"); ms != "" {
+		v, err := strconv.ParseFloat(ms, 64)
+		if err != nil || v < 0 {
+			httpError(rw, http.StatusBadRequest, "bad min %q", ms)
+			return
+		}
+		minDelta = v
+	}
+	m, err := parseMethod(q.Get("method"))
+	if err != nil {
+		httpError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := []changeResponse{}
+	if epochs := s.w.Epochs(); len(epochs) >= 2 {
+		prev, cur := epochs[len(epochs)-2], epochs[len(epochs)-1]
+		for _, c := range detect.Changes(prev, cur, s.candidates(), m, minDelta, 0) {
+			out = append(out, changeResponse{Flow: c.ID, Before: c.Before, After: c.After, Delta: c.Delta})
+		}
+	}
+	writeJSON(rw, out)
+}
+
+type observeRequest struct {
+	Flows []caesar.FlowID `json:"flows"`
+}
+
+// handleObserve ingests a batch of flow IDs: POST /observe with
+// {"flows":[...]}. Flows enter the current epoch and the candidate set.
+func (s *server) handleObserve(rw http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(rw, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Flows) > 0 {
+		s.w.ObserveBatch(req.Flows)
+		s.addCandidates(req.Flows)
+	}
+	writeJSON(rw, map[string]int{"observed": len(req.Flows)})
+}
+
+// handleRotate seals the current epoch (and checkpoints, when configured):
+// POST /rotate.
+func (s *server) handleRotate(rw http.ResponseWriter, _ *http.Request) {
+	if err := s.rotate(); err != nil {
+		httpError(rw, http.StatusInternalServerError, "rotate: %v", err)
+		return
+	}
+	writeJSON(rw, map[string]int{"rotations": s.w.Rotations()})
+}
+
+// handleSnapshot forces a checkpoint now: POST /snapshot.
+func (s *server) handleSnapshot(rw http.ResponseWriter, _ *http.Request) {
+	if s.snapPath == "" {
+		httpError(rw, http.StatusConflict, "snapshotting is disabled (no -snapshot path)")
+		return
+	}
+	if err := s.snapshot(); err != nil {
+		httpError(rw, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(rw, map[string]string{"snapshot": s.snapPath})
+}

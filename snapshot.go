@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/caesar-sketch/caesar/internal/core"
+	"github.com/caesar-sketch/caesar/internal/epoch"
 	"github.com/caesar-sketch/caesar/internal/sketch"
 	"github.com/caesar-sketch/caesar/internal/snapfile"
 )
@@ -78,6 +79,15 @@ func (s *Sharded) Snapshot(w io.Writer) (int64, error) {
 		return 0, fmt.Errorf("caesar: Snapshot before Close; call Close to drain ingestion first")
 	}
 	var e sketch.Encoder
+	s.encodeState(&e)
+	return sketch.WriteSnapshot(w, shardedAlgoName, e.Bytes())
+}
+
+// encodeState writes the closed shard set's complete state — shard count,
+// every shard sketch, and the loss ledger — as sections into e. It is the
+// payload of Snapshot and of each sealed epoch inside a ShardedWindow
+// snapshot.
+func (s *Sharded) encodeState(e *sketch.Encoder) {
 	e.Section("conf", func(e *sketch.Encoder) { e.Int(len(s.shards)) })
 	for _, sk := range s.shards {
 		e.Section("shrd", sk.s.EncodeState)
@@ -105,7 +115,6 @@ func (s *Sharded) Snapshot(w io.Writer) (int64, error) {
 		e.U64s(perShard)
 		e.U8s(down)
 	})
-	return sketch.WriteSnapshot(w, shardedAlgoName, e.Bytes())
 }
 
 // ReadShardedSnapshot loads a snapshot written by Sharded.Snapshot. The
@@ -117,7 +126,15 @@ func ReadShardedSnapshot(r io.Reader) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := sketch.NewDecoder(payload)
+	return decodeShardedState(sketch.NewDecoder(payload))
+}
+
+// decodeShardedState rebuilds a query-only shard set from the sections
+// written by encodeState. The decoder must be scoped to exactly that state
+// (the whole payload for Snapshot, one epoch's section for a ShardedWindow
+// snapshot): the optional trailing loss ledger is detected by the bytes
+// remaining in this decoder.
+func decodeShardedState(d *sketch.Decoder) (*Sharded, error) {
 	var n int
 	d.Section("conf", func(d *sketch.Decoder) { n = d.Int() })
 	if err := d.Err(); err != nil {
@@ -221,12 +238,12 @@ func (w *Window) WriteTo(dst io.Writer) (int64, error) {
 		e.U64(w.cfg.Seed)
 	})
 	e.Section("wind", func(e *sketch.Encoder) {
-		e.Int(w.epochs)
-		e.Int(w.rotations)
-		e.Int(len(w.sealed))
+		e.Int(w.lc.Capacity())
+		e.Int(w.lc.Rotations())
+		e.Int(w.lc.Len())
 	})
-	for _, est := range w.sealed {
-		e.Section("epok", est.e.EncodeEstimatorState)
+	for i, n := 0, w.lc.Len(); i < n; i++ {
+		e.Section("epok", w.lc.At(i).e.EncodeEstimatorState)
 	}
 	return sketch.WriteSnapshot(dst, windowAlgoName, e.Bytes())
 }
@@ -272,7 +289,7 @@ func ReadWindow(r io.Reader) (*Window, error) {
 	if rotations < nSealed {
 		return nil, fmt.Errorf("caesar: snapshot rotations %d below sealed epoch count %d", rotations, nSealed)
 	}
-	w := &Window{cfg: cfg, epochs: epochs, rotations: rotations}
+	sealed := make([]*Estimator, 0, nSealed)
 	for i := 0; i < nSealed; i++ {
 		var ce *core.Estimator
 		var epochErr error
@@ -283,10 +300,18 @@ func ReadWindow(r io.Reader) (*Window, error) {
 		if epochErr != nil {
 			return nil, fmt.Errorf("caesar: sealed epoch %d: %w", i, epochErr)
 		}
-		w.sealed = append(w.sealed, &Estimator{e: ce})
+		sealed = append(sealed, &Estimator{e: ce})
 	}
-	if err := w.startEpoch(); err != nil {
+	// The current epoch restarts at the writer's rotation ordinal, so its
+	// hash seed — and every later epoch's — matches what the writer would
+	// have used had it kept running.
+	cur, err := newEpochSketch(cfg, rotations)
+	if err != nil {
 		return nil, err
 	}
-	return w, nil
+	lc, err := epoch.RestoreLifecycle(epochs, sealed, rotations, cur)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{cfg: cfg, lc: lc}, nil
 }

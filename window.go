@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/caesar-sketch/caesar/internal/epoch"
 	"github.com/caesar-sketch/caesar/internal/stats"
 )
 
@@ -14,16 +15,18 @@ import (
 // the window is full. Queries aggregate the sealed epochs, so answers cover
 // the most recent `epochs` completed intervals.
 //
-// Each epoch uses a different hash seed, which decorrelates the sharing
-// noise across epochs: summed window estimates stay unbiased while their
-// relative noise shrinks as the window grows.
+// Each epoch uses a different hash seed (internal/epoch's rotation-indexed
+// derivation), which decorrelates the sharing noise across epochs: summed
+// window estimates stay unbiased while their relative noise shrinks as the
+// window grows.
+//
+// Window is single-threaded, like Sketch: one goroutine ingests, rotates,
+// and queries. ShardedWindow is the concurrent counterpart — the same
+// epoch lifecycle over a Sharded shard set, with a seal barrier that lets
+// producers keep ingesting through rotations.
 type Window struct {
-	cfg    Config
-	epochs int
-
-	cur       *Sketch
-	sealed    []*Estimator // oldest first, at most `epochs` entries
-	rotations int
+	cfg Config
+	lc  *epoch.Lifecycle[*Sketch, *Estimator]
 }
 
 // NewWindow builds a sliding window that retains `epochs` sealed epochs.
@@ -32,55 +35,55 @@ func NewWindow(epochs int, cfg Config) (*Window, error) {
 	if epochs < 1 {
 		return nil, fmt.Errorf("caesar: window needs >= 1 epoch, got %d", epochs)
 	}
-	w := &Window{cfg: cfg, epochs: epochs}
-	if err := w.startEpoch(); err != nil {
+	first, err := newEpochSketch(cfg, 0)
+	if err != nil {
 		return nil, err
 	}
-	return w, nil
+	lc, err := epoch.NewLifecycle[*Sketch, *Estimator](epochs, first)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{cfg: cfg, lc: lc}, nil
 }
 
-func (w *Window) startEpoch() error {
-	cfg := w.cfg
-	cfg.Seed = w.cfg.Seed + uint64(w.rotations)*0x9e3779b97f4a7c15
-	sk, err := New(cfg)
-	if err != nil {
-		return err
-	}
-	w.cur = sk
-	return nil
+// newEpochSketch builds the sketch for the rotation-th epoch: the same
+// per-epoch budget with the rotation-derived hash seed.
+func newEpochSketch(cfg Config, rotation int) (*Sketch, error) {
+	cfg.Seed = epoch.Seed(cfg.Seed, rotation)
+	return New(cfg)
 }
 
 // Observe records one packet in the current epoch.
-func (w *Window) Observe(flow FlowID) { w.cur.Observe(flow) }
+func (w *Window) Observe(flow FlowID) { w.lc.Current().Observe(flow) }
 
 // ObservePacket parses a 5-tuple and records one packet.
-func (w *Window) ObservePacket(t FiveTuple) { w.cur.ObservePacket(t) }
+func (w *Window) ObservePacket(t FiveTuple) { w.lc.Current().ObservePacket(t) }
 
 // Rotate seals the current epoch and starts a new one, retiring the oldest
 // sealed epoch when the window is full.
 func (w *Window) Rotate() error {
-	w.sealed = append(w.sealed, w.cur.Estimator())
-	if len(w.sealed) > w.epochs {
-		w.sealed = w.sealed[1:]
+	next, err := newEpochSketch(w.cfg, w.lc.Rotations()+1)
+	if err != nil {
+		return err
 	}
-	w.rotations++
-	return w.startEpoch()
+	w.lc.Rotate(w.lc.Current().Estimator(), next)
+	return nil
 }
 
 // EpochsSealed returns how many sealed epochs currently back queries
 // (grows to the window size, then stays there).
-func (w *Window) EpochsSealed() int { return len(w.sealed) }
+func (w *Window) EpochsSealed() int { return w.lc.Len() }
 
 // Rotations returns how many epochs have been sealed in total.
-func (w *Window) Rotations() int { return w.rotations }
+func (w *Window) Rotations() int { return w.lc.Rotations() }
 
 // Estimate returns the flow's estimated packet count summed over the
 // sealed epochs of the window. The current (still-ingesting) epoch is not
 // included; call Rotate first to fold it in.
 func (w *Window) Estimate(flow FlowID, m Method) float64 {
 	var sum float64
-	for _, e := range w.sealed {
-		sum += e.Estimate(flow, m)
+	for i, n := 0, w.lc.Len(); i < n; i++ {
+		sum += w.lc.At(i).Estimate(flow, m)
 	}
 	return sum
 }
@@ -89,15 +92,16 @@ func (w *Window) Estimate(flow FlowID, m Method) float64 {
 // reliability-alpha confidence interval. Per-epoch variances add: the
 // epochs use independent hash seeds, so their noises are independent.
 func (w *Window) EstimateWithInterval(flow FlowID, alpha float64) (float64, Interval) {
+	// One quantile lookup for the whole window: every epoch shares alpha, so
+	// z is loop-invariant.
+	z := stats.ZAlpha(alpha)
 	var sum, varsum float64
-	for _, e := range w.sealed {
-		est, iv := e.EstimateWithInterval(flow, alpha)
+	for i, n := 0, w.lc.Len(); i < n; i++ {
+		est, iv := w.lc.At(i).EstimateWithInterval(flow, alpha)
 		sum += est
 		half := iv.Width() / 2
-		z := stats.ZAlpha(alpha)
 		varsum += (half / z) * (half / z)
 	}
-	z := stats.ZAlpha(alpha)
 	half := z * math.Sqrt(varsum)
 	return sum, Interval{Lo: sum - half, Hi: sum + half}
 }

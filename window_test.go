@@ -1,6 +1,7 @@
 package caesar
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -143,5 +144,61 @@ func TestWindowEpochSeedsDiffer(t *testing.T) {
 	}
 	if got := w.Estimate(5, MLM); math.Abs(got-800) > 0.1*800 {
 		t.Fatalf("two-epoch MLM estimate = %v, want ~800", got)
+	}
+}
+
+// TestWindowSnapshotResumesRotationSeeds pins that a window restored from
+// a snapshot taken AFTER the oldest epoch was retired resumes the epoch
+// seed sequence at the writer's rotation ordinal — not at the count of
+// sealed epochs it happens to carry. Identical traffic into the writer and
+// the restored window must therefore produce bit-identical epochs forever;
+// a restart from the wrong ordinal would reuse a retired epoch's seed and
+// diverge on the very first estimate.
+func TestWindowSnapshotResumesRotationSeeds(t *testing.T) {
+	w, err := NewWindow(2, windowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(win *Window) {
+		for i := 0; i < 3000; i++ {
+			win.Observe(FlowID(i % 150))
+		}
+	}
+	// Rotate past the window size: 4 rotations against a 2-epoch ring, so
+	// the snapshot carries epochs 2..3 and the writer's next seed ordinal
+	// is 4, while len(sealed) is only 2.
+	for e := 0; e < 4; e++ {
+		feed(w)
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadWindow(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		feed(w)
+		feed(r)
+		if err := w.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		for f := FlowID(0); f < 200; f++ {
+			a, b := w.Estimate(f, CSM), r.Estimate(f, CSM)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("round %d flow %d: live %v != restored %v (rotation seeds diverged after retirement)",
+					round, f, a, b)
+			}
+		}
+	}
+	if r.Rotations() != w.Rotations() {
+		t.Fatalf("rotations diverged: %d != %d", r.Rotations(), w.Rotations())
 	}
 }
