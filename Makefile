@@ -65,19 +65,23 @@ snapshot-compat:
 
 # Regenerates the committed perf trajectories with 5 repetitions per
 # benchmark: the ingest path (ns/op, allocs/op, shard scaling, batch-size
-# sweep → BENCH_PR3.json) and the query path (scalar vs bulk estimation,
-# QueryAll worker scaling → BENCH_PR5.json). Commit the refreshed file(s)
-# when the corresponding path changes intentionally.
+# sweep → BENCH_PR3.json), the query path (scalar vs bulk estimation,
+# QueryAll worker scaling → BENCH_PR5.json), and the line-rate ingest
+# pipeline (ring vs channel hand-off, block vs scalar hashing, queue-depth
+# sweep, end-to-end pcap replay → BENCH_PR8.json). Commit the refreshed
+# file(s) when the corresponding path changes intentionally.
 bench-json:
 	$(GO) run ./cmd/caesar-bench -perf -perf-out BENCH_PR3.json -perf-count 5
 	$(GO) run ./cmd/caesar-bench -perf-query -perf-out BENCH_PR5.json -perf-count 5
+	$(GO) run ./cmd/caesar-bench -perf-ingest -perf-out BENCH_PR8.json -perf-count 5
 
-# Fast perf gate for CI: neither hot path may allocate — ingest
-# (TestSketchObserveZeroAllocs) and bulk query (TestEstimateManyZeroAllocs)
-# are deterministic gates; the bench runs also surface the ns/op trend in
-# the job log.
+# Fast perf gate for CI: no hot path may allocate — single-sketch ingest
+# (TestSketchObserveZeroAllocs), sharded line-rate ingest
+# (TestIngestZeroAllocs), and bulk query (TestEstimateManyZeroAllocs) are
+# deterministic gates; the bench runs also surface the ns/op trend in the
+# job log.
 bench-smoke:
-	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs' -count=1 .
+	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs|TestIngestZeroAllocs' -count=1 .
 	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
 
 # End-to-end drill of the live measurement service (docs/SERVICE.md):

@@ -7,6 +7,7 @@
 //	caesar-bench [-scale small|medium|paper] [-seed N] [-run id[,id...]] [-list] [-json]
 //	caesar-bench -perf [-perf-out BENCH_PR3.json] [-perf-count 5]
 //	caesar-bench -perf-query [-perf-out BENCH_PR5.json] [-perf-count 5]
+//	caesar-bench -perf-ingest [-perf-out BENCH_PR8.json] [-perf-count 5]
 //
 // Experiment ids follow the DESIGN.md index (fig3..fig8, tbl-*, abl-*);
 // -list prints them all, -run all (default) runs everything in order, and
@@ -14,7 +15,10 @@
 // -perf instead runs the ingest-path micro-benchmarks (see perf.go) and
 // writes the machine-readable perf report committed as BENCH_PR3.json;
 // -perf-query runs the query-path (bulk estimation) benchmarks (see
-// query.go) and writes the report committed as BENCH_PR5.json.
+// query.go) and writes the report committed as BENCH_PR5.json;
+// -perf-ingest runs the line-rate ingest pipeline benchmarks — SPSC ring
+// vs channel hand-off, block vs scalar shard routing, queue-depth sweep,
+// and end-to-end pcap replay (see ingest.go) — and writes BENCH_PR8.json.
 package main
 
 import (
@@ -30,20 +34,27 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "experiment scale: small, medium, or paper")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		jsonOut   = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
-		perf      = flag.Bool("perf", false, "run the ingest-path micro-benchmarks and write a perf report instead of experiments")
-		perfQuery = flag.Bool("perf-query", false, "run the query-path micro-benchmarks and write a perf report instead of experiments")
-		perfOut   = flag.String("perf-out", "", "perf report output path (default BENCH_PR3.json with -perf, BENCH_PR5.json with -perf-query)")
-		perfCount = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf/-perf-query)")
+		scaleName  = flag.String("scale", "small", "experiment scale: small, medium, or paper")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		run        = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+		perf       = flag.Bool("perf", false, "run the ingest-path micro-benchmarks and write a perf report instead of experiments")
+		perfQuery  = flag.Bool("perf-query", false, "run the query-path micro-benchmarks and write a perf report instead of experiments")
+		perfIngest = flag.Bool("perf-ingest", false, "run the line-rate ingest pipeline benchmarks and write a perf report instead of experiments")
+		perfOut    = flag.String("perf-out", "", "perf report output path (default BENCH_PR3.json with -perf, BENCH_PR5.json with -perf-query, BENCH_PR8.json with -perf-ingest)")
+		perfCount  = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf/-perf-query/-perf-ingest)")
 	)
 	flag.Parse()
 
-	if *perf && *perfQuery {
-		fatal(fmt.Errorf("-perf and -perf-query are mutually exclusive"))
+	perfModes := 0
+	for _, m := range []bool{*perf, *perfQuery, *perfIngest} {
+		if m {
+			perfModes++
+		}
+	}
+	if perfModes > 1 {
+		fatal(fmt.Errorf("-perf, -perf-query, and -perf-ingest are mutually exclusive"))
 	}
 	if *perf {
 		out := *perfOut
@@ -59,6 +70,14 @@ func main() {
 			out = "BENCH_PR5.json"
 		}
 		runQueryPerf(out, *perfCount)
+		return
+	}
+	if *perfIngest {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_PR8.json"
+		}
+		runIngestPerf(out, *perfCount)
 		return
 	}
 

@@ -23,7 +23,7 @@ func testWindow(t *testing.T) *caesar.ShardedWindow {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { w.Close() })
+	t.Cleanup(func() { _ = w.Close() })
 	return w
 }
 

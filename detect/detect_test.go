@@ -3,6 +3,7 @@ package detect
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	caesar "github.com/caesar-sketch/caesar"
@@ -24,9 +25,16 @@ func buildSkewed(t *testing.T, sizes map[caesar.FlowID]int) *caesar.Estimator {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Iterate flows in sorted order so the pre-shuffle stream (and with it
+	// the seeded shuffle's output) is deterministic across runs.
+	flows := make([]caesar.FlowID, 0, len(sizes))
+	for f := range sizes {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
 	var stream []caesar.FlowID
-	for f, n := range sizes {
-		for i := 0; i < n; i++ {
+	for _, f := range flows {
+		for i := 0; i < sizes[f]; i++ {
 			stream = append(stream, f)
 		}
 	}

@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// evictRec is one OnEvict callback, recorded for sequence comparison.
+type evictRec struct {
+	flow   hashing.FlowID
+	value  uint64
+	reason Reason
+}
+
+// TestObserveBlockBitIdentical drives one cache through ObserveBlock and a
+// twin through scalar Observe with the same traffic, at small capacities so
+// overflow and pressure evictions fire constantly, and requires the exact
+// same eviction sequence (flow, value, reason — which also pins every RNG
+// draw under the Random policy) and identical stats.
+func TestObserveBlockBitIdentical(t *testing.T) {
+	for _, policy := range []Policy{LRU, Random} {
+		var blockEv, scalarEv []evictRec
+		mk := func(sink *[]evictRec) *Cache {
+			c, err := New(Config{
+				Entries:  64,
+				Capacity: 4,
+				Policy:   policy,
+				Seed:     7,
+				OnEvict: func(f hashing.FlowID, v uint64, r Reason) {
+					*sink = append(*sink, evictRec{f, v, r})
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		block, scalar := mk(&blockEv), mk(&scalarEv)
+
+		rng := rand.New(rand.NewSource(11))
+		flows := make([]hashing.FlowID, 0, 512)
+		for round := 0; round < 50; round++ {
+			flows = flows[:0]
+			n := 1 + rng.Intn(511) // including degenerate 1-packet blocks
+			for i := 0; i < n; i++ {
+				flows = append(flows, hashing.FlowID(rng.Intn(300)))
+			}
+			block.ObserveBlock(flows)
+			for _, f := range flows {
+				scalar.Observe(f)
+			}
+		}
+		block.Flush()
+		scalar.Flush()
+
+		if len(blockEv) != len(scalarEv) {
+			t.Fatalf("policy=%v: %d block evictions vs %d scalar", policy, len(blockEv), len(scalarEv))
+		}
+		for i := range blockEv {
+			if blockEv[i] != scalarEv[i] {
+				t.Fatalf("policy=%v: eviction %d diverged: block=%+v scalar=%+v",
+					policy, i, blockEv[i], scalarEv[i])
+			}
+		}
+		if block.Stats() != scalar.Stats() {
+			t.Fatalf("policy=%v: stats diverged: block=%+v scalar=%+v",
+				policy, block.Stats(), scalar.Stats())
+		}
+	}
+}
+
+// TestObserveBlockEmpty pins the zero-length block as a no-op.
+func TestObserveBlockEmpty(t *testing.T) {
+	c, err := New(Config{Entries: 4, Capacity: 4, Seed: 1,
+		OnEvict: func(hashing.FlowID, uint64, Reason) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveBlock(nil)
+	c.ObserveBlock([]hashing.FlowID{})
+	if st := c.Stats(); st.Packets != 0 {
+		t.Fatalf("empty blocks counted packets: %+v", st)
+	}
+}

@@ -20,6 +20,7 @@ package cache
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/caesar-sketch/caesar/internal/hashing"
 	"github.com/caesar-sketch/caesar/internal/sketch"
@@ -127,6 +128,16 @@ type Cache struct {
 	// matter how much churn the replacement policy generates.
 	idx     []int32
 	idxMask uint32
+	// homeMix is the hoisted seed half of the home-position hash:
+	// indexHome is Mix64(flow ^ homeMix) & idxMask, which equals
+	// MixWithSeed(flow, indexSeed) & idxMask bit for bit (see
+	// hashing.SeedMix) at half the per-packet mixing work.
+	homeMix uint64
+	// homeBuf is the block-hash scratch for ObserveBlock: the home
+	// positions of a whole batch are computed in one pass before any probe,
+	// so the independent Mix64 chains pipeline instead of serializing
+	// behind each packet's table walk.
+	homeBuf []uint32
 	free    []int32
 	occ     []int32 // occupied slot ids, for O(1) random victim choice
 	head    int32   // most recently used
@@ -170,6 +181,7 @@ func New(cfg Config) (*Cache, error) {
 		slots:   make([]slot, cfg.Entries),
 		idx:     make([]int32, tableSize),
 		idxMask: uint32(tableSize - 1),
+		homeMix: hashing.SeedMix(indexSeed),
 		free:    make([]int32, 0, cfg.Entries),
 		occ:     make([]int32, 0, cfg.Entries),
 		head:    -1,
@@ -187,18 +199,19 @@ func New(cfg Config) (*Cache, error) {
 
 // --- open-addressed slot index ----------------------------------------------
 
-// indexHome returns the flow's preferred table position.
+// indexHome returns the flow's preferred table position. Bit-identical to
+// MixWithSeed(flow, indexSeed) & idxMask with the seed half precomputed.
 //
 //caesar:hotpath index probe starting point, one hash per access
 func (c *Cache) indexHome(flow hashing.FlowID) uint32 {
-	return uint32(hashing.MixWithSeed(uint64(flow), indexSeed)) & c.idxMask
+	return uint32(hashing.Mix64(uint64(flow)^c.homeMix)) & c.idxMask
 }
 
-// indexLookup returns the slot id holding flow, or -1.
+// lookupFrom returns the slot id holding flow probing from home, or -1.
 //
 //caesar:hotpath linear probe on every packet
-func (c *Cache) indexLookup(flow hashing.FlowID) int32 {
-	h := c.indexHome(flow)
+func (c *Cache) lookupFrom(home uint32, flow hashing.FlowID) int32 {
+	h := home
 	for {
 		s := c.idx[h]
 		if s < 0 {
@@ -211,13 +224,20 @@ func (c *Cache) indexLookup(flow hashing.FlowID) int32 {
 	}
 }
 
-// indexInsert records that flow lives in slot s. The caller guarantees flow
-// is not already present; occupancy <= Entries <= tableSize/2 guarantees a
-// free cell exists.
+// indexLookup returns the slot id holding flow, or -1.
+//
+//caesar:hotpath linear probe on every packet
+func (c *Cache) indexLookup(flow hashing.FlowID) int32 {
+	return c.lookupFrom(c.indexHome(flow), flow)
+}
+
+// insertFrom records that flow lives in slot s, probing from home. The
+// caller guarantees flow is not already present; occupancy <= Entries <=
+// tableSize/2 guarantees a free cell exists.
 //
 //caesar:hotpath runs on every cache miss
-func (c *Cache) indexInsert(flow hashing.FlowID, s int32) {
-	h := c.indexHome(flow)
+func (c *Cache) insertFrom(home uint32, flow hashing.FlowID, s int32) {
+	h := home
 	for c.idx[h] >= 0 {
 		h = (h + 1) & c.idxMask
 	}
@@ -291,41 +311,96 @@ func (c *Cache) Observe(flow hashing.FlowID) {
 	c.Add(flow, 1)
 }
 
+// ObserveBlock processes one packet per flow in flows — semantically
+// exactly a loop of Observe calls, in order, with the home-position hashes
+// for the whole block computed up front. Every probe, eviction, stats
+// update, and RNG draw happens in the identical sequence, so downstream
+// state is bit-identical to the scalar path; the block pass only changes
+// how the hash work schedules.
+//
+//caesar:hotpath batched on-chip path; slices.Grow is a no-op for the reused scratch
+func (c *Cache) ObserveBlock(flows []hashing.FlowID) {
+	homes := slices.Grow(c.homeBuf[:0], len(flows))[:len(flows)]
+	mix, mask := c.homeMix, c.idxMask
+	for i, f := range flows {
+		homes[i] = uint32(hashing.Mix64(uint64(f)^mix)) & mask
+	}
+	for i, f := range flows {
+		c.addFrom(homes[i], f, 1)
+	}
+	c.homeBuf = homes
+}
+
 // Add accounts v units (v packets, or v bytes when counting flow volume)
 // to the flow, evicting full values of y downstream as needed.
+//
+// It hashes the home position and falls through to the same body as addFrom
+// rather than delegating: a thin wrapper costs more than the 80-unit inline
+// budget (the hash plus the call), so delegation would put a second real
+// call on the scalar per-packet path.
 //
 //caesar:hotpath per-packet cache update, including the eviction branch
 func (c *Cache) Add(flow hashing.FlowID, v uint64) {
 	if v == 0 {
 		return
 	}
+	home := c.indexHome(flow)
 	c.stats.Packets++
-	s := c.indexLookup(flow)
+	s := c.lookupFrom(home, flow)
 	if s >= 0 {
 		c.stats.Hits++
 		c.touch(s)
 	} else {
 		c.stats.Misses++
-		s = c.allocate(flow)
+		s = c.allocate(home, flow)
 	}
 	e := &c.slots[s]
 	e.count += v
 	if e.count >= c.cfg.Capacity {
-		// Overflow: evict fulfilled values of y and keep counting in the
-		// same entry (the flow is clearly active). The whole multiple-of-y
-		// mass is accounted in one pass — large volume-mode adds previously
-		// re-ran the compare/subtract/stats dance count/y times — while
-		// downstream still sees the exact same per-eviction value sequence
-		// (n calls of exactly y), which keeps every derived estimate and
-		// every RNG draw in the eviction handler bit-identical.
-		y := c.cfg.Capacity
-		n := e.count / y
-		e.count -= n * y
-		c.stats.OverflowEvictions += int(n)
-		c.stats.EvictedMass += n * y
-		for ; n > 0; n-- {
-			c.cfg.OnEvict(flow, y, Overflow)
-		}
+		c.overflowEvict(flow, e)
+	}
+}
+
+// addFrom is Add with the home position already hashed and v == 0 already
+// excluded: the block path precomputes the hashes for a whole block, then
+// feeds them through here one flow at a time. The body mirrors Add exactly
+// (see Add for why the two are not one function).
+//
+//caesar:hotpath per-packet cache update, including the eviction branch
+func (c *Cache) addFrom(home uint32, flow hashing.FlowID, v uint64) {
+	c.stats.Packets++
+	s := c.lookupFrom(home, flow)
+	if s >= 0 {
+		c.stats.Hits++
+		c.touch(s)
+	} else {
+		c.stats.Misses++
+		s = c.allocate(home, flow)
+	}
+	e := &c.slots[s]
+	e.count += v
+	if e.count >= c.cfg.Capacity {
+		c.overflowEvict(flow, e)
+	}
+}
+
+// overflowEvict drains the whole multiple-of-y mass of an overflowing entry:
+// evict fulfilled values of y and keep counting in the same entry (the flow
+// is clearly active). The mass is accounted in one pass — large volume-mode
+// adds previously re-ran the compare/subtract/stats dance count/y times —
+// while downstream still sees the exact same per-eviction value sequence
+// (n calls of exactly y), which keeps every derived estimate and every RNG
+// draw in the eviction handler bit-identical.
+//
+//caesar:hotpath the eviction branch of every cache update
+func (c *Cache) overflowEvict(flow hashing.FlowID, e *slot) {
+	y := c.cfg.Capacity
+	n := e.count / y
+	e.count -= n * y
+	c.stats.OverflowEvictions += int(n)
+	c.stats.EvictedMass += n * y
+	for ; n > 0; n-- {
+		c.cfg.OnEvict(flow, y, Overflow)
 	}
 }
 
@@ -349,7 +424,8 @@ func (c *Cache) emit(flow hashing.FlowID, value uint64, reason Reason) {
 }
 
 // allocate finds a slot for a new flow, evicting a victim if necessary.
-func (c *Cache) allocate(flow hashing.FlowID) int32 {
+// home is the flow's index home position (already hashed by the caller).
+func (c *Cache) allocate(home uint32, flow hashing.FlowID) int32 {
 	var s int32
 	if len(c.free) > 0 {
 		s = c.free[len(c.free)-1]
@@ -372,7 +448,7 @@ func (c *Cache) allocate(flow hashing.FlowID) int32 {
 	e.occPos = int32(len(c.occ))
 	//caesar:ignore allocfree occ has capacity Entries reserved at construction and occupancy never exceeds Entries, so this append never grows
 	c.occ = append(c.occ, s)
-	c.indexInsert(flow, s)
+	c.insertFrom(home, flow, s)
 	c.pushFront(s)
 	return s
 }

@@ -136,19 +136,15 @@ type KSelector struct {
 	seed uint64
 
 	// Precomputed inner seed mixes: MixWithSeed(x, seed) is
-	// Mix64(x ^ Mix64(seed^C)), and the Mix64(seed^C) half depends only on
-	// the seed, so hoisting it here halves the mixing work per selection
+	// Mix64(x ^ SeedMix(seed)), and the SeedMix half depends only on the
+	// seed, so hoisting it here halves the mixing work per selection
 	// without changing a single output bit.
 	baseMix uint64
 	stepMix uint64
 
-	// Reduction constants for idx % l without a hardware divide. When l is
-	// a power of two the reduction is a mask; otherwise mHi/mLo hold the
-	// 128-bit magic ceil(2^128/l) for an exact multiply-based modulo.
-	lIsPow2 bool
-	lMask   uint64
-	mHi     uint64
-	mLo     uint64
+	// red reduces idx % l without a hardware divide: a mask when l is a
+	// power of two, otherwise an exact multiply-based modulo (see Mod).
+	red Mod
 }
 
 // NewKSelector returns a selector for k distinct indices in [0, l).
@@ -162,41 +158,16 @@ func NewKSelector(k, l int, seed uint64) *KSelector {
 		panic("hashing: KSelector requires L >= k distinct counters")
 	}
 	s := &KSelector{k: k, l: uint64(l), seed: seed}
-	s.baseMix = Mix64(seed ^ 0x9e3779b97f4a7c15)
-	s.stepMix = Mix64((seed ^ 0xa5a5a5a5a5a5a5a5) ^ 0x9e3779b97f4a7c15)
-	if s.l&(s.l-1) == 0 {
-		s.lIsPow2 = true
-		s.lMask = s.l - 1
-	} else {
-		// Magic M = floor((2^128 - 1)/l) + 1 = ceil(2^128/l); exact for
-		// every 64-bit operand because l >= 2 here (powers of two,
-		// including l == 1, take the mask path above).
-		hi := ^uint64(0) / s.l
-		r := ^uint64(0) % s.l
-		lo, _ := bits.Div64(r, ^uint64(0), s.l)
-		lo++
-		if lo == 0 {
-			hi++
-		}
-		s.mHi, s.mLo = hi, lo
-	}
+	s.baseMix = SeedMix(seed)
+	s.stepMix = SeedMix(seed ^ 0xa5a5a5a5a5a5a5a5)
+	s.red = NewMod(s.l)
 	return s
 }
 
-// reduce computes x % s.l without a divide instruction: a mask when l is a
-// power of two, otherwise Lemire's multiply-based exact modulo using the
-// precomputed 128-bit reciprocal. Bit-identical to x % s.l for all x.
+// reduce computes x % s.l without a divide instruction (see Mod).
+// Bit-identical to x % s.l for all x.
 func (s *KSelector) reduce(x uint64) uint64 {
-	if s.lIsPow2 {
-		return x & s.lMask
-	}
-	// lowbits = (x * M) mod 2^128; result = floor(lowbits * l / 2^128).
-	lbHi, lbLo := bits.Mul64(x, s.mLo)
-	lbHi += x * s.mHi
-	h1, _ := bits.Mul64(lbLo, s.l)
-	pHi, pLo := bits.Mul64(lbHi, s.l)
-	_, carry := bits.Add64(pLo, h1, 0)
-	return pHi + carry
+	return s.red.Reduce(x)
 }
 
 // K returns the number of indices per flow.

@@ -1,0 +1,128 @@
+package hashing
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// Mod is a divide-free exact modulo reducer over a fixed modulus n: a mask
+// when n is a power of two, otherwise Lemire's multiply-based exact modulo
+// using a precomputed 128-bit reciprocal. Reduce(x) == x % n for every
+// 64-bit x, so swapping a hardware division for a Mod cannot change an
+// output bit. It is a value type so embedding it costs no indirection on
+// the per-packet path.
+type Mod struct {
+	n      uint64
+	isPow2 bool
+	mask   uint64
+	mHi    uint64
+	mLo    uint64
+}
+
+// NewMod returns a reducer for x % n. It panics if n == 0, which is a
+// programming error (there is no residue class modulo zero).
+func NewMod(n uint64) Mod {
+	if n == 0 {
+		panic("hashing: Mod requires n >= 1")
+	}
+	m := Mod{n: n}
+	if n&(n-1) == 0 {
+		m.isPow2 = true
+		m.mask = n - 1
+		return m
+	}
+	// Magic M = floor((2^128 - 1)/n) + 1 = ceil(2^128/n); exact for every
+	// 64-bit operand because n >= 3 here (powers of two, including n == 1
+	// and n == 2, take the mask path above).
+	hi := ^uint64(0) / n
+	r := ^uint64(0) % n
+	lo, _ := bits.Div64(r, ^uint64(0), n)
+	lo++
+	if lo == 0 {
+		hi++
+	}
+	m.mHi, m.mLo = hi, lo
+	return m
+}
+
+// N returns the modulus.
+func (m Mod) N() uint64 { return m.n }
+
+// Reduce computes x % n without a divide instruction. Bit-identical to
+// x % n for all x.
+//
+//caesar:hotpath modulo reduction under every shard route and counter-index selection
+func (m Mod) Reduce(x uint64) uint64 {
+	if m.isPow2 {
+		return x & m.mask
+	}
+	// lowbits = (x * M) mod 2^128; result = floor(lowbits * n / 2^128).
+	lbHi, lbLo := bits.Mul64(x, m.mLo)
+	lbHi += x * m.mHi
+	h1, _ := bits.Mul64(lbLo, m.n)
+	pHi, pLo := bits.Mul64(lbHi, m.n)
+	_, carry := bits.Add64(pLo, h1, 0)
+	return pHi + carry
+}
+
+// SeedMix finalizes a seed into the inner mix MixWithSeed folds into its
+// argument: MixWithSeed(x, seed) == Mix64(x ^ SeedMix(seed)). Hoisting the
+// seed half out of a per-packet loop halves the mixing work without
+// changing a single output bit — the block ingest paths (ShardRouter, the
+// cache index, KSelector) all rely on this identity.
+func SeedMix(seed uint64) uint64 {
+	return Mix64(seed ^ 0x9e3779b97f4a7c15)
+}
+
+// ShardRouter maps flow IDs to shard indices in [0, n). It computes exactly
+// MixWithSeed(flow, seed) % n — the historical routing function — but with
+// the seed mix hoisted at construction and the modulo replaced by an exact
+// divide-free reduction, so a router route and a scalar route agree bit for
+// bit while the block path does half the hashing per packet.
+type ShardRouter struct {
+	seedMix uint64
+	red     Mod
+}
+
+// NewShardRouter returns a router over n shards. It panics if n < 1.
+func NewShardRouter(n int, seed uint64) *ShardRouter {
+	if n < 1 {
+		panic("hashing: ShardRouter requires n >= 1 shards")
+	}
+	return &ShardRouter{seedMix: SeedMix(seed), red: NewMod(uint64(n))}
+}
+
+// Shards returns the shard count n.
+func (r *ShardRouter) Shards() int { return int(r.red.N()) }
+
+// Route returns the owning shard of one flow.
+//
+//caesar:hotpath per-packet shard selection on the scalar ingest path
+func (r *ShardRouter) Route(flow FlowID) int {
+	return int(r.red.Reduce(Mix64(uint64(flow) ^ r.seedMix)))
+}
+
+// RouteBlock appends the owning shard of every flow in flows to dst and
+// returns the extended slice — the hash-block half of the batched ingest
+// path. The per-flow work is a single Mix64 on independent chains, so the
+// loop pipelines where the scalar path serializes hash → route → hash;
+// with a reused dst of sufficient capacity it performs no allocation.
+//
+//caesar:hotpath block shard selection inside ObserveBatch; slices.Grow is a no-op for a reused dst
+func (r *ShardRouter) RouteBlock(flows []FlowID, dst []uint32) []uint32 {
+	start := len(dst)
+	dst = slices.Grow(dst, len(flows))[:start+len(flows)]
+	out := dst[start:]
+	mix := r.seedMix
+	if r.red.isPow2 {
+		mask := r.red.mask
+		for i, f := range flows {
+			out[i] = uint32(Mix64(uint64(f)^mix) & mask)
+		}
+		return dst
+	}
+	for i, f := range flows {
+		out[i] = uint32(r.red.Reduce(Mix64(uint64(f) ^ mix)))
+	}
+	return dst
+}

@@ -1,0 +1,129 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModReduceMatchesModulo pins Reduce against the hardware modulo for
+// adversarial and random operands across pow2 and general moduli.
+func TestModReduceMatchesModulo(t *testing.T) {
+	moduli := []uint64{1, 2, 3, 4, 5, 7, 8, 12, 13, 64, 100, 1 << 16, 1<<16 + 1,
+		(1 << 31) - 1, 1 << 32, 1<<63 - 25, ^uint64(0)}
+	xs := []uint64{0, 1, 2, 63, 64, 1<<32 - 1, 1 << 32, 1<<64 - 1, 0x9e3779b97f4a7c15}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4096; i++ {
+		xs = append(xs, rng.Uint64())
+	}
+	for _, n := range moduli {
+		m := NewMod(n)
+		if m.N() != n {
+			t.Fatalf("N() = %d, want %d", m.N(), n)
+		}
+		for _, x := range xs {
+			if got, want := m.Reduce(x), x%n; got != want {
+				t.Fatalf("Mod(%d).Reduce(%d) = %d, want %d", n, x, got, want)
+			}
+		}
+	}
+}
+
+func TestModZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMod(0) did not panic")
+		}
+	}()
+	NewMod(0)
+}
+
+// TestSeedMixIdentity pins the hoisting identity the block paths rely on:
+// MixWithSeed(x, seed) == Mix64(x ^ SeedMix(seed)).
+func TestSeedMixIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4096; i++ {
+		x, seed := rng.Uint64(), rng.Uint64()
+		if got, want := Mix64(x^SeedMix(seed)), MixWithSeed(x, seed); got != want {
+			t.Fatalf("Mix64(x^SeedMix(seed)) = %#x, want MixWithSeed = %#x (x=%#x seed=%#x)",
+				got, want, x, seed)
+		}
+	}
+}
+
+// TestShardRouterMatchesScalarRouting pins Route and RouteBlock against the
+// historical scalar routing function MixWithSeed(flow, seed) % n for both
+// power-of-two and general shard counts.
+func TestShardRouterMatchesScalarRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 31, 64} {
+		r := NewShardRouter(n, 0x5ad5ad)
+		if r.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), n)
+		}
+		flows := make([]FlowID, 2048)
+		for i := range flows {
+			flows[i] = FlowID(rng.Uint64())
+		}
+		block := r.RouteBlock(flows, nil)
+		if len(block) != len(flows) {
+			t.Fatalf("RouteBlock returned %d entries, want %d", len(block), len(flows))
+		}
+		for i, f := range flows {
+			want := int(MixWithSeed(uint64(f), 0x5ad5ad) % uint64(n))
+			if got := r.Route(f); got != want {
+				t.Fatalf("n=%d Route(%#x) = %d, want %d", n, uint64(f), got, want)
+			}
+			if got := int(block[i]); got != want {
+				t.Fatalf("n=%d RouteBlock[%d] = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestShardRouterBlockAppends verifies RouteBlock appends after existing
+// entries and reuses capacity without reallocating.
+func TestShardRouterBlockAppends(t *testing.T) {
+	r := NewShardRouter(4, 1)
+	flows := []FlowID{1, 2, 3}
+	dst := make([]uint32, 1, 16)
+	dst[0] = 77
+	got := r.RouteBlock(flows, dst)
+	if len(got) != 4 || got[0] != 77 {
+		t.Fatalf("RouteBlock did not append: %v", got)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("RouteBlock reallocated a dst with sufficient capacity")
+	}
+}
+
+func TestShardRouterPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewShardRouter(0, 1) did not panic")
+		}
+	}()
+	NewShardRouter(0, 1)
+}
+
+func BenchmarkShardRouterRoute(b *testing.B) {
+	r := NewShardRouter(4, 0x5ad5ad)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Route(FlowID(i))
+	}
+}
+
+func BenchmarkShardRouterRouteBlock(b *testing.B) {
+	r := NewShardRouter(4, 0x5ad5ad)
+	flows := make([]FlowID, 1024)
+	for i := range flows {
+		flows[i] = FlowID(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	dst := make([]uint32, 0, len(flows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; n -= len(flows) {
+		dst = r.RouteBlock(flows, dst[:0])
+	}
+	_ = dst
+}

@@ -72,6 +72,13 @@ type Reader struct {
 	nanos    bool
 	linkType uint32
 	stats    Stats
+	// buf is the reused record buffer behind NextPacket/ReadBlock: parse
+	// never retains record bytes past the call, so one capture-sized buffer
+	// serves the whole replay and the steady state allocates nothing.
+	buf []byte
+	// hdr is the record-header scratch. A local array would escape through
+	// the io.ReadFull interface call and cost one heap allocation per record.
+	hdr [16]byte
 }
 
 // NewReader parses the global header and returns a reader positioned at the
@@ -113,13 +120,30 @@ func (pr *Reader) Stats() Stats { return pr.stats }
 // Next returns the next parseable packet. Records that cannot yield a
 // 5-tuple are skipped (and counted); io.EOF signals a clean end of capture.
 func (pr *Reader) Next() (Packet, error) {
+	var p Packet
+	if err := pr.NextPacket(&p); err != nil {
+		return Packet{}, err
+	}
+	return p, nil
+}
+
+// NextPacket decodes the next parseable packet into *p, reusing the reader's
+// internal record buffer: after the first few records the replay loop
+// performs no allocation per packet, which is what the line-rate ingest
+// benchmarks (and any production replay) want. Records that cannot yield a
+// 5-tuple are skipped and counted; io.EOF signals a clean end of capture.
+//
+//caesar:hotpath the per-packet decode of a capture replay
+func (pr *Reader) NextPacket(p *Packet) error {
 	for {
-		var rec [16]byte
-		if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		rec := pr.hdr[:]
+		//caesar:ignore allocfree pr.r is a pointer (*bufio.Reader); pointer-to-interface conversion stores the pointer directly and does not box
+		if _, err := io.ReadFull(pr.r, rec); err != nil {
 			if err == io.EOF {
-				return Packet{}, io.EOF
+				return io.EOF
 			}
-			return Packet{}, fmt.Errorf("pcap: reading record header: %w", err)
+			//caesar:ignore allocfree error path only, terminal for the replay — never taken on the steady-state per-packet path
+			return fmt.Errorf("pcap: reading record header: %w", err)
 		}
 		sec := pr.order.Uint32(rec[0:4])
 		frac := pr.order.Uint32(rec[4:8])
@@ -127,11 +151,18 @@ func (pr *Reader) Next() (Packet, error) {
 		origLen := pr.order.Uint32(rec[12:16])
 		const maxSane = 1 << 20
 		if capLen > maxSane {
-			return Packet{}, fmt.Errorf("pcap: implausible captured length %d", capLen)
+			//caesar:ignore allocfree error path only, terminal for the replay — never taken on the steady-state per-packet path
+			return fmt.Errorf("pcap: implausible captured length %d", capLen)
 		}
-		data := make([]byte, capLen)
+		if uint32(cap(pr.buf)) < capLen {
+			//caesar:ignore allocfree grows at most a handful of times per capture (monotone to the largest snapped record), then every record reuses it
+			pr.buf = make([]byte, capLen)
+		}
+		data := pr.buf[:capLen]
+		//caesar:ignore allocfree pr.r is a pointer (*bufio.Reader); pointer-to-interface conversion stores the pointer directly and does not box
 		if _, err := io.ReadFull(pr.r, data); err != nil {
-			return Packet{}, fmt.Errorf("pcap: reading %d-byte record: %w", capLen, err)
+			//caesar:ignore allocfree error path only, terminal for the replay — never taken on the steady-state per-packet path
+			return fmt.Errorf("pcap: reading %d-byte record: %w", capLen, err)
 		}
 		pr.stats.Records++
 
@@ -147,8 +178,22 @@ func (pr *Reader) Next() (Packet, error) {
 			continue
 		}
 		pr.stats.Parsed++
-		return Packet{Tuple: tuple, TimestampNs: ts, Length: int(origLen)}, nil
+		p.Tuple, p.TimestampNs, p.Length = tuple, ts, int(origLen)
+		return nil
 	}
+}
+
+// ReadBlock decodes up to len(dst) packets into dst and returns how many it
+// filled. A short count with a nil error never occurs: the only short return
+// is the final one, paired with io.EOF (possibly n > 0), or a real decode
+// error. Allocation-free in the steady state, like NextPacket.
+func (pr *Reader) ReadBlock(dst []Packet) (int, error) {
+	for n := range dst {
+		if err := pr.NextPacket(&dst[n]); err != nil {
+			return n, err
+		}
+	}
+	return len(dst), nil
 }
 
 // ReadAll drains the capture into a slice.

@@ -372,3 +372,72 @@ func BenchmarkReader(b *testing.B) {
 		}
 	}
 }
+
+// TestReadBlockMatchesNext pins the zero-alloc block path against the
+// one-at-a-time path on the same capture.
+func TestReadBlockMatchesNext(t *testing.T) {
+	data := writeSample(t)
+	one, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := one.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Packet, 2)
+	var got []Packet
+	for {
+		n, err := blk.ReadBlock(dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("block path yielded %d packets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("packet %d: block %+v, next %+v", i, got[i], want[i])
+		}
+	}
+	if blk.Stats() != one.Stats() {
+		t.Fatalf("stats: block %+v, next %+v", blk.Stats(), one.Stats())
+	}
+}
+
+// TestNextPacketZeroAllocs gates the replay decode path at zero allocations
+// per record once the reusable buffer is warm.
+func TestNextPacketZeroAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	tu := sampleTuples()[0]
+	for i := 0; i < 4096; i++ {
+		_ = w.WritePacket(tu, uint64(i), 100)
+	}
+	_ = w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	if err := r.NextPacket(&p); err != nil { // warm the record buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := r.NextPacket(&p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("NextPacket allocates %.1f per record, want 0", allocs)
+	}
+}

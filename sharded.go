@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/caesar-sketch/caesar/internal/hashing"
+	"github.com/caesar-sketch/caesar/internal/spsc"
 )
 
 // Sharded fans packet ingestion out over several independent CAESAR
@@ -51,12 +52,20 @@ import (
 type Sharded struct {
 	opts   ShardedOptions
 	shards []*Sketch
+	// queues are the per-shard hand-off channels in QueueChannel mode; nil in
+	// QueueRing mode.
 	queues []chan shardBatch
-	wg     sync.WaitGroup
-	// shardMask is len(shards)-1 when the shard count is a power of two
-	// (the common case), letting ShardFor mask instead of divide on the
-	// per-packet path; 0 otherwise.
-	shardMask uint64
+	// ringShards hold the per-shard SPSC ring sets in QueueRing mode (the
+	// default); nil in QueueChannel mode. Each registered Ingester owns one
+	// ring per shard, so every ring has exactly one producer (the handle,
+	// serialized by its own mutex) and one consumer (the shard worker).
+	ringShards []*ringShard
+	wg         sync.WaitGroup
+	// router maps flows to shards: one seeded Mix64 and an exact
+	// multiply-based modulo, with a block variant that pipelines the hashes
+	// for a whole batch. Bit-identical to the historical
+	// MixWithSeed(flow, seed) % n routing.
+	router *hashing.ShardRouter
 
 	// batchPool recycles full batches handed to the shard workers back to
 	// the producers, so steady-state ingest allocates no buffers.
@@ -87,7 +96,9 @@ type Sharded struct {
 	// point but will never reach a shard sketch is counted here, by cause.
 	drops dropStats
 	// shardDropped[i] counts dropped packets that were destined for shard i.
-	shardDropped []atomic.Uint64
+	// Padded: neighboring shards' workers bump adjacent counters under
+	// overload, and 8-byte atomics sharing a line would ping-pong it.
+	shardDropped []paddedCounter
 	// shardDown[i] is 1 once shard i's worker has been quarantined.
 	shardDown []atomic.Uint32
 
@@ -169,6 +180,36 @@ func (h Health) String() string {
 	}
 }
 
+// QueueKind selects the per-shard hand-off mechanism between producers and
+// shard workers.
+type QueueKind int
+
+const (
+	// QueueRing (the default) hands batches over through bounded lock-free
+	// SPSC rings, one per (Ingester, shard) pair: producers never take a
+	// shared lock or wake the scheduler to deliver a batch, so ingest scales
+	// with producer count. Semantics — overflow policies, the drop ledger,
+	// quarantine, deadline shutdown — are identical to QueueChannel.
+	QueueRing QueueKind = iota
+	// QueueChannel hands batches over through one buffered Go channel per
+	// shard (the historical implementation). Kept as a differential-testing
+	// oracle and benchmark baseline; TestRingChannelEquivalence pins the two
+	// modes to bit-identical estimates and drop ledgers.
+	QueueChannel
+)
+
+// String names the queue kind for logs and reports.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueRing:
+		return "ring"
+	case QueueChannel:
+		return "channel"
+	default:
+		return fmt.Sprintf("queuekind(%d)", int(k))
+	}
+}
+
 // ShardedHooks are optional instrumentation and fault-injection points on
 // the ingest path. Production deployments leave them zero; the chaos suite
 // wires internal/faultinject's deterministic faults through them with no
@@ -204,6 +245,9 @@ type ShardedOptions struct {
 	// SampleRate is N for the Sample policy: an overflowing batch keeps one
 	// packet in N. Default 8; ignored by the other policies.
 	SampleRate int
+	// Queue selects the hand-off mechanism: QueueRing (default, lock-free
+	// SPSC rings) or QueueChannel (the historical buffered channels).
+	Queue QueueKind
 	// Hooks installs fault-injection and instrumentation callbacks; the
 	// zero value installs none.
 	Hooks ShardedHooks
@@ -212,7 +256,12 @@ type ShardedOptions struct {
 // Default ingest tuning, kept as named constants so the scaling benchmarks
 // can reference the stock configuration.
 const (
-	DefaultShardBatchSize  = 256
+	DefaultShardBatchSize = 256
+	// DefaultShardQueueDepth was tuned for the channel hand-off and
+	// re-swept for the SPSC rings (caesar-bench -perf-ingest, queue_depth_sweep
+	// in BENCH_PR8.json): throughput is flat from 16 to 256 batches within
+	// run-to-run noise, so the channel-era value stands. Rings round the
+	// depth up to a power of two.
 	DefaultShardQueueDepth = 64
 	// DefaultShardSampleRate is the Sample policy's keep ratio: 1 in 8.
 	DefaultShardSampleRate = 8
@@ -244,23 +293,53 @@ func (o ShardedOptions) validate() error {
 	if o.SampleRate < 1 {
 		return fmt.Errorf("caesar: ShardedOptions.SampleRate must be >= 1, got %d", o.SampleRate)
 	}
+	if o.Queue < QueueRing || o.Queue > QueueChannel {
+		return fmt.Errorf("caesar: unknown ShardedOptions.Queue %d", o.Queue)
+	}
 	return nil
 }
 
 type shardBatch []FlowID
 
+// shardRouteSeed is the fixed seed of the flow → shard hash. It predates the
+// ShardRouter; the router reproduces MixWithSeed(flow, shardRouteSeed) % n
+// bit-for-bit, so snapshots and golden results are unaffected.
+const shardRouteSeed = 0x5ad5ad
+
+// paddedCounter is an atomic.Uint64 alone on its 64-byte cache line. The
+// drop-ledger counters are bumped from producer goroutines, shard workers,
+// and the shutdown path concurrently; as plain adjacent atomics, counters for
+// unrelated causes (or neighboring shards) would share a line and ping-pong
+// it between cores under overload — exactly when the ledger is hottest.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Load returns the current count.
+func (c *paddedCounter) Load() uint64 { return c.n.Load() }
+
+// Store overwrites the count (snapshot restore only).
+func (c *paddedCounter) Store(v uint64) { c.n.Store(v) }
+
+// Add increments the count and returns the new value.
+//
+//caesar:hotpath ledger bump on every accounted drop
+func (c *paddedCounter) Add(v uint64) uint64 { return c.n.Add(v) }
+
 // dropStats is the loss ledger, partitioned by cause. Every field counts
 // packets except batches, which counts whole batches discarded in one step.
-// All fields are atomics: drops are recorded from producer goroutines,
-// shard workers, and the shutdown path concurrently.
+// All fields are padded atomics: drops are recorded from producer goroutines,
+// shard workers, and the shutdown path concurrently, and padding keeps one
+// cause's traffic from invalidating another's cache line.
 type dropStats struct {
-	overflow   atomic.Uint64 // Drop policy: batch rejected on a full queue
-	sampled    atomic.Uint64 // Sample policy: packets thinned on overflow
-	quarantine atomic.Uint64 // packets abandoned by or routed to a quarantined shard
-	timeout    atomic.Uint64 // CloseContext/FlushContext deadline casualties
-	afterClose atomic.Uint64 // Observe/ObserveBatch after Close (counted no-op)
-	injected   atomic.Uint64 // batches suppressed by a BeforeEnqueue hook
-	batches    atomic.Uint64 // whole batches dropped, all causes
+	overflow   paddedCounter // Drop policy: batch rejected on a full queue
+	sampled    paddedCounter // Sample policy: packets thinned on overflow
+	quarantine paddedCounter // packets abandoned by or routed to a quarantined shard
+	timeout    paddedCounter // CloseContext/FlushContext deadline casualties
+	afterClose paddedCounter // Observe/ObserveBatch after Close (counted no-op)
+	injected   paddedCounter // batches suppressed by a BeforeEnqueue hook
+	batches    paddedCounter // whole batches dropped, all causes
 }
 
 // packets returns the total dropped-packet count across causes.
@@ -297,9 +376,9 @@ func NewShardedOptions(n int, cfg Config, opts ShardedOptions) (*Sharded, error)
 	s := &Sharded{
 		opts:         opts,
 		shards:       make([]*Sketch, n),
-		queues:       make([]chan shardBatch, n),
+		router:       hashing.NewShardRouter(n, shardRouteSeed),
 		abort:        make(chan struct{}),
-		shardDropped: make([]atomic.Uint64, n),
+		shardDropped: make([]paddedCounter, n),
 		shardDown:    make([]atomic.Uint32, n),
 		workerExited: make([]chan struct{}, n),
 		panicReasons: make(map[int]string),
@@ -307,8 +386,14 @@ func NewShardedOptions(n int, cfg Config, opts ShardedOptions) (*Sharded, error)
 	for i := range s.workerExited {
 		s.workerExited[i] = make(chan struct{})
 	}
-	if n&(n-1) == 0 {
-		s.shardMask = uint64(n - 1)
+	switch opts.Queue {
+	case QueueChannel:
+		s.queues = make([]chan shardBatch, n)
+	default:
+		s.ringShards = make([]*ringShard, n)
+		for i := range s.ringShards {
+			s.ringShards[i] = newRingShard()
+		}
 	}
 	for i := range s.shards {
 		// Spread the division remainders across the first shards so no part
@@ -328,11 +413,17 @@ func NewShardedOptions(n int, cfg Config, opts ShardedOptions) (*Sharded, error)
 			return nil, err
 		}
 		s.shards[i] = sk
-		s.queues[i] = make(chan shardBatch, opts.QueueDepth)
+		if s.queues != nil {
+			s.queues[i] = make(chan shardBatch, opts.QueueDepth)
+		}
 	}
 	for i := range s.shards {
 		s.wg.Add(1)
-		go s.worker(i)
+		if s.ringShards != nil {
+			go s.ringWorker(i)
+		} else {
+			go s.worker(i)
+		}
 	}
 	s.legacy = s.Ingester()
 	return s, nil
@@ -455,7 +546,7 @@ func (s *Sharded) triggerAbort() {
 
 // dropBatch accounts one whole batch of n packets destined for shard i as
 // dropped for the given cause.
-func (s *Sharded) dropBatch(i, n int, cause *atomic.Uint64) {
+func (s *Sharded) dropBatch(i, n int, cause *paddedCounter) {
 	cause.Add(uint64(n))
 	s.shardDropped[i].Add(uint64(n))
 	s.drops.batches.Add(1)
@@ -488,15 +579,10 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 func (s *Sharded) Options() ShardedOptions { return s.opts }
 
 // ShardFor returns the index of the shard that owns a flow.
+//
+//caesar:hotpath routes every packet on the scalar Observe path
 func (s *Sharded) ShardFor(flow FlowID) int {
-	h := hashing.MixWithSeed(uint64(flow), 0x5ad5ad)
-	if s.shardMask != 0 {
-		// Power-of-two shard counts mask instead of divide; identical to the
-		// modulo below (h % n == h & (n-1) when n is a power of two), just
-		// without a hardware division on the per-packet path.
-		return int(h & s.shardMask)
-	}
-	return int(h % uint64(len(s.shards)))
+	return s.router.Route(flow)
 }
 
 // Observe routes one packet to its shard. Safe for concurrent use; it is a
@@ -532,6 +618,18 @@ func (s *Sharded) Ingester() *Ingester {
 	if s.closed {
 		panic("caesar: Ingester after Close")
 	}
+	if s.ringShards != nil {
+		// Mint this handle's private SPSC rings and register them with the
+		// shard workers. Registration must stay inside the closed check's
+		// critical section: closeWith sets closed under mu before it closes
+		// the per-shard closing latches, so a ring registered here is always
+		// seen (and drained) by its worker before that worker may exit.
+		h.rings = make([]*spsc.Ring[shardBatch], len(s.shards)) //caesar:ignore lockdiscipline h is under construction and not yet shared with any goroutine
+		for i := range h.rings {
+			h.rings[i] = spsc.New[shardBatch](s.opts.QueueDepth) //caesar:ignore lockdiscipline h is under construction and not yet shared with any goroutine
+			s.ringShards[i].register(h.rings[i])
+		}
+	}
 	s.handles = append(s.handles, h)
 	return h
 }
@@ -544,9 +642,17 @@ func (s *Sharded) Ingester() *Ingester {
 type Ingester struct {
 	s *Sharded
 
-	mu      sync.Mutex
-	batches []shardBatch // per-shard private fill buffers, guarded by mu
-	closed  bool         // guarded by mu
+	// rings are this handle's private SPSC hand-off rings, one per shard
+	// (QueueRing mode only; nil under QueueChannel). The handle is the sole
+	// producer of each — every push and the eventual Close happen under mu —
+	// and the shard worker is the sole consumer, which is exactly the SPSC
+	// contract.
+	rings []*spsc.Ring[shardBatch]
+
+	mu       sync.Mutex
+	batches  []shardBatch // per-shard private fill buffers, guarded by mu
+	routeBuf []uint32     // ObserveBatch block-routing scratch, guarded by mu
+	closed   bool         // guarded by mu
 }
 
 // Observe routes one packet to its shard's buffer, dispatching the buffer
@@ -579,6 +685,13 @@ func (h *Ingester) Observe(flow FlowID) {
 
 // ObserveBatch routes a batch of packets to their shards under a single
 // lock acquisition. After Close it is a counted no-op, like Observe.
+//
+// The shard of every flow is computed first as one block (RouteBlock): the
+// routing hashes are data-independent, so the tight hash loop pipelines where
+// the scalar hash→buffer sequence would serialize on each hash's latency.
+// Routing is bit-identical to calling ShardFor per flow.
+//
+//caesar:hotpath the bulk ingest entry point
 func (h *Ingester) ObserveBatch(flows []FlowID) {
 	if len(flows) == 0 {
 		return
@@ -591,8 +704,9 @@ func (h *Ingester) ObserveBatch(flows []FlowID) {
 		}
 		return
 	}
-	for _, flow := range flows {
-		i := h.s.ShardFor(flow)
+	h.routeBuf = h.s.router.RouteBlock(flows, h.routeBuf[:0])
+	for j, flow := range flows {
+		i := int(h.routeBuf[j])
 		//caesar:ignore allocfree per-shard batches are minted with BatchSize capacity and swapped out exactly at len==cap, so this append never grows
 		b := append(h.batches[i], flow)
 		if len(b) == cap(b) {
@@ -655,6 +769,18 @@ func (h *Ingester) FlushContext(ctx context.Context) error {
 			h.s.putBatch(b)
 			continue
 		}
+		if h.rings != nil {
+			// Ring mode waits on the context only, like the channel select
+			// below: the worker keeps consuming (or count-draining) its rings
+			// until they are closed, and closing them requires this handle's
+			// mutex, so the push always lands unless the deadline fires.
+			if !h.ringPushCtx(ctx, i, b, false) {
+				h.s.dropBatch(i, len(b), &h.s.drops.timeout)
+				h.s.putBatch(b)
+				err = ctx.Err()
+			}
+			continue
+		}
 		select {
 		case h.s.queues[i] <- b:
 		case <-ctx.Done():
@@ -669,26 +795,41 @@ func (h *Ingester) FlushContext(ctx context.Context) error {
 // dispatch hands one batch to shard i's worker, applying the overflow
 // policy. Called with h.mu held, which is what makes it safe against Close:
 // Close cannot finish draining this handle (and therefore cannot close the
-// queues) until h.mu is released, so the send always lands on an open
-// channel. The sendWG registration additionally orders the send against
+// queues or this handle's rings) until h.mu is released, so the send always
+// lands on an open channel or ring.
+//
+// In ring mode that handle-mutex ordering is the whole story — pushes and the
+// eventual ring Close both happen under h.mu — so the hot path skips the
+// channel mode's global sendWG registration (a shared-lock acquisition per
+// batch). In channel mode the sendWG additionally orders the send against
 // Close for any future caller that dispatches outside a drain-visible lock.
+//
+//caesar:hotpath hands off one full batch per BatchSize packets
 func (h *Ingester) dispatch(i int, b shardBatch) {
 	s := h.s
+	if h.rings != nil {
+		s.enqueue(h, i, b)
+		return
+	}
 	s.mu.Lock()
 	s.sendWG.Add(1)
 	s.mu.Unlock()
-	s.enqueue(i, b)
+	s.enqueue(h, i, b)
 	s.sendWG.Done()
 }
 
-// enqueue offers one batch to shard i's queue under the overflow policy.
-// Hook suppression and policy drops are counted; a blocking send can be cut
-// short only by the shutdown abort latch, in which case the batch counts as
-// a timeout drop.
-func (s *Sharded) enqueue(i int, b shardBatch) {
+// enqueue offers one batch to shard i's queue or ring under the overflow
+// policy. Hook suppression and policy drops are counted; a blocking send can
+// be cut short only by the shutdown abort latch, in which case the batch
+// counts as a timeout drop.
+func (s *Sharded) enqueue(h *Ingester, i int, b shardBatch) {
 	if hook := s.opts.Hooks.BeforeEnqueue; hook != nil && !hook(i, len(b)) {
 		s.dropBatch(i, len(b), &s.drops.injected)
 		s.putBatch(b)
+		return
+	}
+	if h.rings != nil {
+		s.enqueueRing(h, i, b)
 		return
 	}
 	switch s.opts.OverflowPolicy {
@@ -705,20 +846,45 @@ func (s *Sharded) enqueue(i int, b shardBatch) {
 			return
 		default:
 		}
-		// Thin deterministically: keep every SampleRate-th packet, in
-		// place (the write index never catches the read index).
-		kept := b[:0]
-		for j := 0; j < len(b); j += s.opts.SampleRate {
-			//caesar:ignore allocfree kept reuses b's backing array and its write index never passes the read index, so this append never grows
-			kept = append(kept, b[j])
-		}
-		thinned := len(b) - len(kept)
-		s.drops.sampled.Add(uint64(thinned))
-		s.shardDropped[i].Add(uint64(thinned))
-		s.blockingSend(i, kept)
+		s.blockingSend(i, s.thinBatch(i, b))
 	default: // Block
 		s.blockingSend(i, b)
 	}
+}
+
+// enqueueRing is enqueue's ring-mode policy arm: same policies, same ledger,
+// with the channel try-send replaced by a ring TryPush and the blocking send
+// by the spin-then-sleep blockingPush.
+func (s *Sharded) enqueueRing(h *Ingester, i int, b shardBatch) {
+	switch s.opts.OverflowPolicy {
+	case Drop:
+		if !h.tryPush(i, b) {
+			s.dropBatch(i, len(b), &s.drops.overflow)
+			s.putBatch(b)
+		}
+	case Sample:
+		if h.tryPush(i, b) {
+			return
+		}
+		h.blockingPush(i, s.thinBatch(i, b))
+	default: // Block
+		h.blockingPush(i, b)
+	}
+}
+
+// thinBatch applies the Sample policy to an overflowing batch in place:
+// every SampleRate-th packet is kept (the write index never catches the read
+// index) and the discarded remainder is accounted to shard i.
+func (s *Sharded) thinBatch(i int, b shardBatch) shardBatch {
+	kept := b[:0]
+	for j := 0; j < len(b); j += s.opts.SampleRate {
+		//caesar:ignore allocfree kept reuses b's backing array and its write index never passes the read index, so this append never grows
+		kept = append(kept, b[j])
+	}
+	thinned := len(b) - len(kept)
+	s.drops.sampled.Add(uint64(thinned))
+	s.shardDropped[i].Add(uint64(thinned))
+	return kept
 }
 
 // blockingSend delivers a batch with backpressure; only the shutdown abort
@@ -748,10 +914,16 @@ func (h *Ingester) drain(ctx context.Context) bool {
 	hit := false
 	for i, b := range h.batches {
 		if len(b) > 0 {
-			if hit {
+			switch {
+			case hit:
 				// The deadline already fired: count without re-waiting.
 				h.s.dropBatch(i, len(b), &h.s.drops.timeout)
-			} else {
+			case h.rings != nil:
+				if !h.ringPushCtx(ctx, i, b, true) {
+					h.s.dropBatch(i, len(b), &h.s.drops.timeout)
+					hit = true
+				}
+			default:
 				select {
 				case h.s.queues[i] <- b:
 				case <-ctx.Done():
@@ -764,6 +936,12 @@ func (h *Ingester) drain(ctx context.Context) bool {
 			}
 		}
 		h.batches[i] = nil
+	}
+	// Close this handle's rings (a producer-side operation, legal here under
+	// h.mu): the shard workers will pop whatever the rings still hold, then
+	// observe Drained once the per-shard closing latch trips.
+	for _, r := range h.rings {
+		r.Close()
 	}
 	return hit
 }
@@ -840,6 +1018,14 @@ func (s *Sharded) closeWith(ctx context.Context) error {
 	for _, q := range s.queues {
 		//caesar:ignore atomicdiscipline closeWith runs once (guarded by the closed flag under mu) and waits on sendWG above, so no sender can race these closes
 		close(q)
+	}
+	for _, rs := range s.ringShards {
+		// Trip the per-shard closing latch: every handle has been drained (and
+		// its rings closed) above, and no handle can be minted after the
+		// closed flag we set under mu, so the ring set each worker sees is
+		// final — the worker wakes if parked, drains what remains, and exits.
+		//caesar:ignore atomicdiscipline closeWith runs once (guarded by the closed flag under mu), so nothing can race this close
+		close(rs.closing)
 	}
 	if !s.waitOrAbort(ctx, &s.wg) {
 		timedOut = true

@@ -1,0 +1,241 @@
+package caesar
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/caesar-sketch/caesar/internal/faultinject"
+)
+
+// ringTestConfig is a small-budget config that still exercises cache
+// evictions and counter traffic.
+func ringTestConfig() Config {
+	return Config{Counters: 1 << 12, CacheEntries: 1 << 8, CacheCapacity: 32, Seed: 42}
+}
+
+// runQueueKind drives one Sharded of the given queue kind through a fixed
+// deterministic workload — single producer, Block policy, a seeded
+// DropBatches injector and a PanicWorker injector — and returns the closed
+// sketch. With one producer and the lossless Block policy, batches reach each
+// shard in the same order under both queue kinds, the injector's PRNG draws
+// happen in the same producer-side order, and the panic lands on the same
+// n-th batch of the same shard: the two kinds must therefore produce
+// bit-identical state.
+func runQueueKind(t *testing.T, kind QueueKind, flows []FlowID) *Sharded {
+	t.Helper()
+	inj := faultinject.New(0xfeed)
+	s, err := NewShardedOptions(4, ringTestConfig(), ShardedOptions{
+		Queue:     kind,
+		BatchSize: 64,
+		Hooks: ShardedHooks{
+			BeforeEnqueue: inj.DropBatches(0.05),
+			OnWorkerBatch: inj.PanicWorker(2, 7),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Ingester()
+	for start := 0; start < len(flows); start += 100 {
+		end := start + 100
+		if end > len(flows) {
+			end = len(flows)
+		}
+		h.ObserveBatch(flows[start:end])
+	}
+	s.Close()
+	return s
+}
+
+// TestRingChannelEquivalence pins the tentpole contract: the SPSC-ring
+// hand-off is an implementation swap, not a semantic change. Under a
+// deterministic workload with injected faults, ring and channel modes must
+// agree on the packet count, on every field of the drop ledger, on the
+// quarantine state, and on the estimate of every flow — bit-identical, not
+// approximately.
+func TestRingChannelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	flows := make([]FlowID, 120_000)
+	for i := range flows {
+		flows[i] = FlowID(rng.Intn(5000))
+	}
+
+	ring := runQueueKind(t, QueueRing, flows)
+	channel := runQueueKind(t, QueueChannel, flows)
+
+	if rn, cn := ring.NumPackets(), channel.NumPackets(); rn != cn {
+		t.Fatalf("NumPackets: ring %d, channel %d", rn, cn)
+	}
+	rs, cs := ring.Stats(), channel.Stats()
+	ledger := []struct {
+		name       string
+		ring, chev uint64
+	}{
+		{"DroppedOverflow", rs.DroppedOverflow, cs.DroppedOverflow},
+		{"DroppedSampled", rs.DroppedSampled, cs.DroppedSampled},
+		{"DroppedQuarantine", rs.DroppedQuarantine, cs.DroppedQuarantine},
+		{"DroppedTimeout", rs.DroppedTimeout, cs.DroppedTimeout},
+		{"DroppedAfterClose", rs.DroppedAfterClose, cs.DroppedAfterClose},
+		{"DroppedInjected", rs.DroppedInjected, cs.DroppedInjected},
+		{"DroppedPackets", rs.DroppedPackets, cs.DroppedPackets},
+		{"DroppedBatches", rs.DroppedBatches, cs.DroppedBatches},
+		{"Packets", uint64(rs.Packets), uint64(cs.Packets)},
+	}
+	for _, f := range ledger {
+		if f.ring != f.chev {
+			t.Errorf("Stats.%s: ring %d, channel %d", f.name, f.ring, f.chev)
+		}
+	}
+	if rs.QuarantinedShards != cs.QuarantinedShards || rs.Health != cs.Health {
+		t.Errorf("health: ring %d/%v, channel %d/%v",
+			rs.QuarantinedShards, rs.Health, cs.QuarantinedShards, cs.Health)
+	}
+
+	// The ledger invariant must hold exactly in both modes.
+	observed := uint64(len(flows))
+	if got := ring.NumPackets() + ring.DroppedPackets(); got != observed {
+		t.Errorf("ring ledger: applied+dropped = %d, observed %d", got, observed)
+	}
+	if got := channel.NumPackets() + channel.DroppedPackets(); got != observed {
+		t.Errorf("channel ledger: applied+dropped = %d, observed %d", got, observed)
+	}
+
+	re, err := ring.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := channel.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := FlowID(0); f < 5000; f++ {
+		if rc, cc := re.Covered(f), ce.Covered(f); rc != cc {
+			t.Fatalf("flow %d: Covered ring %v, channel %v", f, rc, cc)
+		}
+		if !re.Covered(f) {
+			continue
+		}
+		rv, cv := re.Estimate(f, CSM), ce.Estimate(f, CSM)
+		if rv != cv { // bit-identical, no tolerance
+			t.Fatalf("flow %d: estimate ring %v, channel %v", f, rv, cv)
+		}
+	}
+}
+
+// TestRingShardedStress hammers a ring-mode Sharded from many concurrent
+// producers (meant for -race -count=5 in CI): per-producer handles, mixed
+// Observe/ObserveBatch/Flush traffic, and a mid-stream straggler that keeps
+// observing while Close runs, exercising the counted-no-op path. The ledger
+// invariant must hold exactly.
+func TestRingShardedStress(t *testing.T) {
+	const (
+		producers   = 8
+		perProducer = 20_000
+	)
+	s, err := NewShardedOptions(3, ringTestConfig(), ShardedOptions{
+		BatchSize:  32,
+		QueueDepth: 4, // tiny rings force constant wrap-around and full hits
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := s.Ingester()
+			rng := rand.New(rand.NewSource(int64(p)))
+			buf := make([]FlowID, 0, 97)
+			for i := 0; i < perProducer; i++ {
+				f := FlowID(rng.Intn(4000))
+				if p%2 == 0 {
+					h.Observe(f)
+				} else {
+					buf = append(buf, f)
+					if len(buf) == cap(buf) {
+						h.ObserveBatch(buf)
+						buf = buf[:0]
+					}
+				}
+				if i%5000 == 0 {
+					h.Flush()
+				}
+			}
+			h.ObserveBatch(buf)
+			h.Flush()
+		}(p)
+	}
+	wg.Wait()
+	s.Close()
+	const observed = producers * perProducer
+	if got := s.NumPackets() + s.DroppedPackets(); got != observed {
+		t.Fatalf("ledger: applied+dropped = %d, observed %d", got, observed)
+	}
+	if st := s.Stats(); st.DroppedPackets != 0 {
+		t.Fatalf("Block policy dropped %d packets", st.DroppedPackets)
+	}
+}
+
+// TestRingObserveCloseRace races late observers against Close in ring mode:
+// packets that lose the rendezvous must surface as DroppedAfterClose, never
+// panic, and the ledger must balance.
+func TestRingObserveCloseRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		s, err := NewShardedOptions(2, ringTestConfig(), ShardedOptions{BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const perG = 2000
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			h := s.Ingester() // minted before Close; observing after is the counted no-op
+			wg.Add(1)
+			go func(h *Ingester) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					h.Observe(FlowID(i))
+				}
+			}(h)
+		}
+		runtime.Gosched()
+		s.Close()
+		wg.Wait()
+		if got := s.NumPackets() + s.DroppedPackets(); got != 4*perG {
+			t.Fatalf("iter %d: ledger %d, observed %d", iter, got, 4*perG)
+		}
+	}
+}
+
+// TestIngestZeroAllocs gates the steady-state ingest path at (near) zero
+// allocations per packet: batch buffers recycle through the pool and the
+// block router reuses its scratch, so the only allowed allocations are the
+// rare pool refills after a GC (hence the 0.01 packets/alloc tolerance
+// rather than exactly zero).
+func TestIngestZeroAllocs(t *testing.T) {
+	s, err := NewShardedOptions(4, ringTestConfig(), ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Ingester()
+	flows := make([]FlowID, 512)
+	for i := range flows {
+		flows[i] = FlowID(i * 7919)
+	}
+	// Warm up: fault in the pool, the route scratch, and every ring slot.
+	for i := 0; i < 64; i++ {
+		h.ObserveBatch(flows)
+	}
+	const rounds = 2000
+	allocs := testing.AllocsPerRun(rounds, func() {
+		h.ObserveBatch(flows)
+	})
+	perPacket := allocs / float64(len(flows))
+	if perPacket > 0.01 {
+		t.Fatalf("ingest allocates %.4f allocs/packet (%.1f/batch), want < 0.01",
+			perPacket, allocs)
+	}
+	s.Close()
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/caesar-sketch/caesar/internal/core"
 	"github.com/caesar-sketch/caesar/internal/epoch"
+	"github.com/caesar-sketch/caesar/internal/hashing"
 	"github.com/caesar-sketch/caesar/internal/sketch"
 	"github.com/caesar-sketch/caesar/internal/snapfile"
 )
@@ -145,9 +146,10 @@ func decodeShardedState(d *sketch.Decoder) (*Sharded, error) {
 	}
 	s := &Sharded{
 		shards:       make([]*Sketch, n),
+		router:       hashing.NewShardRouter(n, shardRouteSeed),
 		closed:       true,
 		abort:        make(chan struct{}),
-		shardDropped: make([]atomic.Uint64, n),
+		shardDropped: make([]paddedCounter, n),
 		shardDown:    make([]atomic.Uint32, n),
 		panicReasons: make(map[int]string),
 	}
