@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos fuzz-smoke snapshot-compat bench-json bench-smoke serve-smoke ci
+.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos chaos-serve fuzz-smoke snapshot-compat bench-json bench-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,17 @@ lint-json:
 chaos:
 	$(GO) test -race -count=3 -run='^TestChaos' .
 
+# The HTTP-level chaos suite for the self-healing service layer
+# (cmd/caesar-serve/chaos_test.go, docs/SERVICE.md "Ops runbook"):
+# mid-epoch worker panics healed by supervised seal+rotate within backoff
+# bounds, degraded reads with coverage headers, admission-control shedding
+# under Drop and Block, slow clients against the read timeouts, mid-body
+# disconnects, failing checkpoint writes, and a SIGKILL + restart
+# reconciliation drill whose lost-packet count must match the injected
+# loss exactly.
+chaos-serve:
+	$(GO) test -race -count=3 -run='^TestChaosServe' ./cmd/caesar-serve
+
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSketchObserveEstimate -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotReadFrom -fuzztime=$(FUZZTIME) .
@@ -92,4 +103,4 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -run=TestServeSmoke -count=1 -v ./cmd/caesar-serve
 
-ci: build vet test race lint lint-vettool lint-waivers chaos fuzz-smoke snapshot-compat bench-smoke serve-smoke
+ci: build vet test race lint lint-vettool lint-waivers chaos chaos-serve fuzz-smoke snapshot-compat bench-smoke serve-smoke

@@ -712,3 +712,88 @@ func TestChaosLossAdjustedEstimate(t *testing.T) {
 		t.Fatalf("loss-adjusted ARE %.3f too large", adjErr)
 	}
 }
+
+// TestChaosLossAdjustedSampleQuarantine combines the two loss mechanisms
+// that had never shared a run: Sample-policy thinning (a slow consumer
+// overflows shard 0's queue, so overflowing batches keep 1-in-N) and
+// quarantine drops (a worker panic takes shard 1 down mid-run, counting
+// its abandoned traffic). The combined EffectiveLossRate must still be the
+// exact dropped/(dropped+recorded) ratio, and EstimateLossAdjusted must be
+// exactly the Figure 7 correction of the raw estimate — bit-identical
+// float math, not a tolerance.
+func TestChaosLossAdjustedSampleQuarantine(t *testing.T) {
+	inj := faultinject.New(31)
+	slow := inj.SlowConsumer(0.6, time.Millisecond)
+	panicAt := inj.PanicWorker(1, 40)
+	var quarantined atomic.Uint64
+	var quarantinedShard atomic.Int64
+	s, err := NewShardedOptions(2, chaosConfig(), ShardedOptions{
+		BatchSize:      16,
+		QueueDepth:     1,
+		OverflowPolicy: Sample,
+		SampleRate:     8,
+		Hooks: ShardedHooks{
+			OnWorkerBatch: func(shard, packets int) {
+				slow(shard, packets)
+				panicAt(shard, packets)
+			},
+			OnQuarantine: func(shard int, reason string) {
+				quarantined.Add(1)
+				quarantinedShard.Store(int64(shard))
+				if reason == "" {
+					t.Error("OnQuarantine fired with an empty reason")
+				}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const observed = 30000
+	const nFlows = 97
+	drive(s, observed, nFlows)
+	s.Close()
+
+	st := assertAccounting(t, s, observed)
+	if st.DroppedSampled == 0 {
+		t.Fatal("Sample policy under a slow consumer produced no sampling drops; the fault was not exercised")
+	}
+	if st.DroppedQuarantine == 0 {
+		t.Fatal("worker panic produced no quarantine drops; the fault was not exercised")
+	}
+	if st.Health != Degraded {
+		t.Fatalf("Health = %v with one of two shards quarantined, want Degraded", st.Health)
+	}
+	if got := quarantined.Load(); got != 1 {
+		t.Fatalf("OnQuarantine fired %d times, want exactly once", got)
+	}
+	if got := quarantinedShard.Load(); got != 1 {
+		t.Fatalf("OnQuarantine reported shard %d, want the panicked shard 1", got)
+	}
+
+	// The combined rate must be the exact ratio of the ledger, not an
+	// approximation that loses packets between the two causes.
+	dropped := float64(st.DroppedPackets)
+	if want := dropped / (dropped + float64(s.NumPackets())); st.EffectiveLossRate != want {
+		t.Fatalf("EffectiveLossRate = %v, want exact ratio %v", st.EffectiveLossRate, want)
+	}
+	if st.EffectiveLossRate <= 0 || st.EffectiveLossRate >= 1 {
+		t.Fatalf("EffectiveLossRate = %v, want in (0,1)", st.EffectiveLossRate)
+	}
+
+	est, err := s.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := est.EffectiveLossRate()
+	if rho != st.EffectiveLossRate {
+		t.Fatalf("estimator loss rate %v != stats loss rate %v", rho, st.EffectiveLossRate)
+	}
+	for f := FlowID(0); f < nFlows; f++ {
+		raw := est.Estimate(f, CSM)
+		adj := est.EstimateLossAdjusted(f, CSM)
+		if want := raw / (1 - rho); adj != want {
+			t.Fatalf("flow %d: EstimateLossAdjusted = %v, want exactly raw/(1-rho) = %v", f, adj, want)
+		}
+	}
+}

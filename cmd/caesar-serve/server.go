@@ -1,16 +1,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/caesar-sketch/caesar"
 	"github.com/caesar-sketch/caesar/detect"
+	"github.com/caesar-sketch/caesar/internal/snapfile"
+	"github.com/caesar-sketch/caesar/internal/supervise"
 )
 
 // server wires a live ShardedWindow, the detect package, and the snapshot
@@ -18,23 +24,91 @@ import (
 // the window serializes its own queries, and the candidate set (the flow
 // memory the sketch deliberately does not keep) has its own lock.
 type server struct {
-	w *caesar.ShardedWindow
+	w    *caesar.ShardedWindow
+	opts serveOptions
 
 	candMu sync.Mutex
 	cand   detect.Candidates
 
-	// snapPath, when set, receives a crash-safe snapshot after every
-	// rotation and on demand; "" disables snapshotting.
-	snapPath string
-	snapMu   sync.Mutex
+	// snapMu serializes checkpoint writes (snapshot + meta sidecar).
+	snapMu sync.Mutex
 
-	// rotateMu keeps HTTP-triggered and timer-triggered rotations from
-	// interleaving their rotate-then-snapshot sequences.
+	// rotateMu keeps HTTP-triggered, timer-triggered, and supervisor
+	// rotations from interleaving their rotate-then-snapshot sequences.
 	rotateMu sync.Mutex
+
+	// inflight is the admission budget: one slot per concurrently admitted
+	// /observe request.
+	inflight chan struct{}
+
+	// Service-level accounting. ingested counts every packet presented to
+	// the window (admitted /observe + trace replay); shed* count requests
+	// admission control rejected, whose packets never reached the window.
+	// Together: presented == NumPackets + DroppedPackets + shedPackets.
+	ingested     atomic.Uint64
+	shedPackets  atomic.Uint64
+	shedRequests atomic.Uint64
+
+	// lastSeal is the unix-nano time of the last successful rotation, for
+	// the degraded read path's staleness header; 0 before the first seal.
+	lastSeal atomic.Int64
+
+	// events is the ops-visible recovery log (served at /events); the
+	// supervisor appends to the same log.
+	events *supervise.EventLog
+	sup    atomic.Pointer[supervise.Supervisor]
+
+	// recon is the restart reconciliation report, nil on a fresh start.
+	recon atomic.Pointer[reconReport]
 }
 
-func newServer(w *caesar.ShardedWindow, snapPath string) *server {
-	return &server{w: w, snapPath: snapPath}
+func newServer(w *caesar.ShardedWindow, opts serveOptions) *server {
+	opts = opts.withDefaults()
+	return &server{
+		w:        w,
+		opts:     opts,
+		inflight: make(chan struct{}, opts.maxInflight),
+		events:   supervise.NewEventLog(0, nil),
+	}
+}
+
+// setSupervisor binds the recovery supervisor once main has built it (the
+// supervisor needs the server's rotate/snapshot, so it comes second).
+func (s *server) setSupervisor(sv *supervise.Supervisor) { s.sup.Store(sv) }
+
+// onQuarantine is the window's OnQuarantine hook target: log the fault and
+// kick the supervisor so recovery starts now, not at the next probe tick.
+func (s *server) onQuarantine(shard int, reason string) {
+	s.events.Append("quarantine", "shard %d quarantined: %s", shard, reason)
+	if sv := s.sup.Load(); sv != nil {
+		sv.Kick()
+	}
+}
+
+// noteIngested counts packets presented to the window (see server.ingested).
+func (s *server) noteIngested(n int) { s.ingested.Add(uint64(n)) }
+
+// setReconciliation installs the restart report and logs it as an event.
+func (s *server) setReconciliation(rep reconReport) {
+	s.recon.Store(&rep)
+	s.ingested.Store(rep.RestoredAccounted)
+	s.events.Append("reconcile",
+		"restored %d rotations (%d packets accounted); crash lost epoch %d onward, %d packets",
+		rep.RestoredRotations, rep.RestoredAccounted, rep.LostEpoch, rep.LostPackets)
+}
+
+// probe is the supervisor's health observation of the window.
+func (s *server) probe() supervise.Probe {
+	st := s.w.Stats()
+	detail := st.Health.String()
+	if st.QuarantinedShards > 0 {
+		detail = fmt.Sprintf("%s (%d quarantined shards)", detail, st.QuarantinedShards)
+	}
+	return supervise.Probe{
+		Healthy: st.Health == caesar.Healthy,
+		Detail:  detail,
+		Dropped: st.DroppedPackets,
+	}
 }
 
 // addCandidates records flows into the detector candidate set.
@@ -54,24 +128,35 @@ func (s *server) candidates() []caesar.FlowID {
 // rotate seals the current epoch and, when configured, checkpoints the
 // window. The snapshot happens after the seal so it always includes the
 // epoch that just closed.
-func (s *server) rotate() error {
+func (s *server) rotate() error { return s.rotateContext(context.Background()) }
+
+// rotateContext is rotate under a deadline: a seal stuck behind a wedged
+// worker gives up when ctx does (the worker is quarantined and the epoch
+// ring stays consistent — Sharded's CloseContext contract), instead of
+// hanging the supervisor or the shutdown drain forever.
+func (s *server) rotateContext(ctx context.Context) error {
 	s.rotateMu.Lock()
 	defer s.rotateMu.Unlock()
-	if err := s.w.Rotate(); err != nil {
+	if err := s.w.RotateContext(ctx); err != nil {
 		return err
 	}
+	s.lastSeal.Store(time.Now().UnixNano())
 	return s.snapshot()
 }
 
 // snapshot checkpoints the window crash-safely (temp file, fsync, atomic
-// rename), so a crash mid-write never destroys the previous good file.
+// rename), so a crash mid-write never destroys the previous good file,
+// then writes the reconciliation meta sidecar the same way.
 func (s *server) snapshot() error {
-	if s.snapPath == "" {
+	if s.opts.snapPath == "" {
 		return nil
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	return s.w.SnapshotFile(s.snapPath)
+	if err := snapfile.Write(s.opts.snapPath, s.w, s.opts.snapHooks); err != nil {
+		return err
+	}
+	return s.writeMeta()
 }
 
 func (s *server) handler() http.Handler {
@@ -84,6 +169,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /changes", s.handleChanges)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /reconciliation", s.handleReconciliation)
 	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("POST /rotate", s.handleRotate)
 	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
@@ -192,6 +279,13 @@ type dropsResponse struct {
 	DroppedAfterClose uint64 `json:"dropped_after_close"`
 	DroppedInjected   uint64 `json:"dropped_injected"`
 	DroppedBatches    uint64 `json:"dropped_batches"`
+	// Service-level shedding, additive to (not part of) the window ledger:
+	// shed packets never reached the window, so
+	// ingested_packets + shed_packets == everything presented to the
+	// service, and ingested_packets == NumPackets + DroppedPackets.
+	ShedPackets     uint64 `json:"shed_packets"`
+	ShedRequests    uint64 `json:"shed_requests"`
+	IngestedPackets uint64 `json:"ingested_packets"`
 }
 
 func (s *server) handleDrops(rw http.ResponseWriter, _ *http.Request) {
@@ -205,6 +299,9 @@ func (s *server) handleDrops(rw http.ResponseWriter, _ *http.Request) {
 		DroppedAfterClose: st.DroppedAfterClose,
 		DroppedInjected:   st.DroppedInjected,
 		DroppedBatches:    st.DroppedBatches,
+		ShedPackets:       s.shedPackets.Load(),
+		ShedRequests:      s.shedRequests.Load(),
+		IngestedPackets:   s.ingested.Load(),
 	})
 }
 
@@ -261,6 +358,10 @@ func (s *server) handleEstimate(rw http.ResponseWriter, r *http.Request) {
 		httpError(rw, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The degraded read path: when the live epoch is unhealthy, answers
+	// still come from the sealed surface, scaled by the Figure 7 loss
+	// correction; the headers say so explicitly.
+	correct := s.coverage(rw)
 	out := make([]estimateResponse, len(flows))
 	if as := q.Get("alpha"); as != "" {
 		alpha, err := strconv.ParseFloat(as, 64)
@@ -270,13 +371,13 @@ func (s *server) handleEstimate(rw http.ResponseWriter, r *http.Request) {
 		}
 		for i, f := range flows {
 			est, iv := s.w.EstimateWithInterval(f, alpha)
-			lo, hi := iv.Lo, iv.Hi
-			out[i] = estimateResponse{Flow: f, Estimate: est, Lo: &lo, Hi: &hi}
+			lo, hi := iv.Lo*correct, iv.Hi*correct
+			out[i] = estimateResponse{Flow: f, Estimate: est * correct, Lo: &lo, Hi: &hi}
 		}
 	} else {
 		ests := s.w.EstimateMany(flows, m, nil)
 		for i, f := range flows {
-			out[i] = estimateResponse{Flow: f, Estimate: ests[i]}
+			out[i] = estimateResponse{Flow: f, Estimate: ests[i] * correct}
 		}
 	}
 	writeJSON(rw, out)
@@ -305,10 +406,11 @@ func (s *server) handleTopK(rw http.ResponseWriter, r *http.Request) {
 		httpError(rw, http.StatusBadRequest, "%v", err)
 		return
 	}
+	correct := s.coverage(rw)
 	top := detect.TopK(s.w, s.candidates(), m, k, 0)
 	out := make([]topKResponse, len(top))
 	for i, f := range top {
-		out[i] = topKResponse{Flow: f.ID, Estimate: f.Estimate}
+		out[i] = topKResponse{Flow: f.ID, Estimate: f.Estimate * correct}
 	}
 	writeJSON(rw, out)
 }
@@ -390,18 +492,65 @@ type observeRequest struct {
 }
 
 // handleObserve ingests a batch of flow IDs: POST /observe with
-// {"flows":[...]}. Flows enter the current epoch and the candidate set.
+// {"flows":[...]}. The body is capped at maxBody bytes; admitted flows
+// enter the current epoch and the candidate set, while requests beyond
+// the in-flight budget are shed with 429/503 + Retry-After and counted in
+// the service-level ledger (see dropsResponse).
 func (s *server) handleObserve(rw http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(rw, r.Body, s.opts.maxBody)
 	var req observeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(rw, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
 		httpError(rw, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if len(req.Flows) > 0 {
-		s.w.ObserveBatch(req.Flows)
-		s.addCandidates(req.Flows)
+	if len(req.Flows) == 0 {
+		writeJSON(rw, map[string]int{"observed": 0})
+		return
 	}
+	release, status := s.admit(r)
+	if release == nil {
+		s.shed(rw, status, len(req.Flows))
+		return
+	}
+	defer release()
+	s.w.ObserveBatch(req.Flows)
+	s.noteIngested(len(req.Flows))
+	s.addCandidates(req.Flows)
 	writeJSON(rw, map[string]int{"observed": len(req.Flows)})
+}
+
+type eventsResponse struct {
+	Supervisor *supervise.Stats  `json:"supervisor,omitempty"`
+	Events     []supervise.Event `json:"events"`
+}
+
+// handleEvents answers GET /events: the recovery event log (quarantines,
+// forced rotations, checkpoints, reconciliation), oldest first, plus the
+// supervisor's counters when one is running.
+func (s *server) handleEvents(rw http.ResponseWriter, _ *http.Request) {
+	resp := eventsResponse{Events: s.events.Events()}
+	if sv := s.sup.Load(); sv != nil {
+		st := sv.Stats()
+		resp.Supervisor = &st
+	}
+	writeJSON(rw, resp)
+}
+
+// handleReconciliation answers GET /reconciliation: the bounded-loss
+// restart report, or 404 on a process that started fresh.
+func (s *server) handleReconciliation(rw http.ResponseWriter, _ *http.Request) {
+	rep := s.recon.Load()
+	if rep == nil {
+		httpError(rw, http.StatusNotFound, "no restart reconciliation: this process started fresh")
+		return
+	}
+	writeJSON(rw, *rep)
 }
 
 // handleRotate seals the current epoch (and checkpoints, when configured):
@@ -416,7 +565,7 @@ func (s *server) handleRotate(rw http.ResponseWriter, _ *http.Request) {
 
 // handleSnapshot forces a checkpoint now: POST /snapshot.
 func (s *server) handleSnapshot(rw http.ResponseWriter, _ *http.Request) {
-	if s.snapPath == "" {
+	if s.opts.snapPath == "" {
 		httpError(rw, http.StatusConflict, "snapshotting is disabled (no -snapshot path)")
 		return
 	}
@@ -424,5 +573,5 @@ func (s *server) handleSnapshot(rw http.ResponseWriter, _ *http.Request) {
 		httpError(rw, http.StatusInternalServerError, "snapshot: %v", err)
 		return
 	}
-	writeJSON(rw, map[string]string{"snapshot": s.snapPath})
+	writeJSON(rw, map[string]string{"snapshot": s.opts.snapPath})
 }

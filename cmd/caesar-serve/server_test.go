@@ -81,7 +81,7 @@ func observe(t *testing.T, ts *httptest.Server, flow caesar.FlowID, n int) {
 
 func TestServeEndpoints(t *testing.T) {
 	w := testWindow(t)
-	srv := newServer(w, "")
+	srv := newServer(w, serveOptions{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -148,17 +148,17 @@ func TestServeEndpoints(t *testing.T) {
 
 func TestServeErrors(t *testing.T) {
 	w := testWindow(t)
-	srv := newServer(w, "")
+	srv := newServer(w, serveOptions{})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	for _, path := range []string{
-		"/estimate",              // missing flow
-		"/estimate?flow=zzz",     // unparseable flow
+		"/estimate",          // missing flow
+		"/estimate?flow=zzz", // unparseable flow
 		"/estimate?flow=1&method=bogus",
 		"/estimate?flow=1&alpha=2",
 		"/topk?k=0",
-		"/alerts",                // missing threshold
+		"/alerts", // missing threshold
 		"/changes?min=-1",
 	} {
 		resp, err := ts.Client().Get(ts.URL + path)
@@ -188,7 +188,7 @@ func TestServeSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "state.csnp")
 	w := testWindow(t)
-	srv := newServer(w, snap)
+	srv := newServer(w, serveOptions{snapPath: snap})
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -210,7 +210,7 @@ func TestServeSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rw.Close()
-	srv2 := newServer(rw, "")
+	srv2 := newServer(rw, serveOptions{})
 	ts2 := httptest.NewServer(srv2.handler())
 	defer ts2.Close()
 	loaded := getJSON[[]estimateResponse](t, ts2, "/estimate?flow=7&flow=8")

@@ -53,3 +53,37 @@ func shutsDown(ctx context.Context) error {
 	_ = s.CloseContext(ctx) // clean: explicitly discarded
 	return nil
 }
+
+// The supervisor recovery APIs (supervise.Supervisor.ForceRotate and
+// Checkpoint, serve's rotateContext) return the only evidence that a
+// recovery action failed — a dropped error here means the service believes
+// it healed when it did not. These mirror-shaped methods pin the analyzer
+// to the self-healing service layer's contract; Kick and Step are
+// error-free by design and must stay clean as bare statements.
+type supervisorAPI struct{}
+
+func (supervisorAPI) ForceRotate(ctx context.Context) error { return nil }
+
+func (supervisorAPI) Checkpoint() error { return nil }
+
+func (supervisorAPI) Kick() {}
+
+// backoffAPI mirrors internal/backoff: Next returns the delay, not an
+// error, so consuming an attempt as a bare statement is clean.
+type backoffAPI struct{}
+
+func (backoffAPI) Next() int { return 0 }
+
+func supervises(ctx context.Context) error {
+	var sup supervisorAPI
+	sup.ForceRotate(ctx) // want "error that is silently dropped"
+	sup.Checkpoint()     // want "error that is silently dropped"
+	sup.Kick()           // clean: no error result
+	var bo backoffAPI
+	bo.Next() // clean: returns a duration, not an error
+	if err := sup.ForceRotate(ctx); err != nil {
+		return err // clean: failed rotation surfaced to the caller
+	}
+	_ = sup.Checkpoint() // clean: explicitly discarded
+	return nil
+}

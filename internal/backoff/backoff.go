@@ -1,0 +1,152 @@
+// Package backoff implements jittered exponential backoff for the
+// self-healing service layer. A supervisor that reacts to a crash-looping
+// shard by rotating epochs must not rotate in a tight loop — each rotation
+// allocates a full shard set — so recovery actions are spaced by an
+// exponentially growing, jittered delay that resets once the system stays
+// healthy.
+//
+// The jitter is drawn from the repository's seeded SplitMix64 PRNG
+// (internal/hashing), not from the global math/rand state, so a backoff
+// sequence is fully deterministic for a fixed seed: the chaos suite can
+// assert exact recovery schedules, and two supervisors with different seeds
+// never synchronize their retry storms.
+package backoff
+
+import (
+	"time"
+
+	"github.com/caesar-sketch/caesar/internal/hashing"
+)
+
+// Default policy values, chosen for a service that rotates epochs on the
+// order of seconds: the first retry is fast enough not to prolong an
+// outage, the cap keeps a persistent fault from pushing recovery out by
+// minutes, and the jitter fraction is wide enough to de-synchronize
+// replicas without making test bounds sloppy.
+const (
+	DefaultBase   = 200 * time.Millisecond
+	DefaultMax    = 10 * time.Second
+	DefaultFactor = 2.0
+	DefaultJitter = 0.2
+)
+
+// Policy describes a backoff schedule. The zero value selects the package
+// defaults for Base, Max, and Factor; Jitter keeps its zero value (no
+// jitter) so exact schedules stay expressible — callers that want the
+// recommended fraction pass DefaultJitter explicitly.
+type Policy struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay (before jitter is applied).
+	Max time.Duration
+	// Factor multiplies the delay after each attempt; values <= 1 make the
+	// schedule constant at Base.
+	Factor float64
+	// Jitter is the fraction of the grown delay randomized symmetrically
+	// around it: a delay d becomes uniform in [d*(1-Jitter), d*(1+Jitter)].
+	// 0 disables jitter; values are clamped to [0, 1).
+	Jitter float64
+}
+
+// withDefaults fills zero fields with the package defaults and clamps
+// Jitter into [0, 1).
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	if p.Factor <= 1 {
+		if p.Factor == 0 {
+			p.Factor = DefaultFactor
+		} else {
+			p.Factor = 1
+		}
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter >= 1 {
+		p.Jitter = 0.999
+	}
+	return p
+}
+
+// Bounds returns the smallest and largest delay Next may return for the
+// attempt-th retry (0-based) under the policy — what tests assert recovery
+// schedules against without reproducing the PRNG stream.
+func (p Policy) Bounds(attempt int) (lo, hi time.Duration) {
+	p = p.withDefaults()
+	d := p.grown(attempt)
+	lo = time.Duration(float64(d) * (1 - p.Jitter))
+	hi = time.Duration(float64(d) * (1 + p.Jitter))
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, hi
+}
+
+// grown returns the un-jittered delay for the attempt-th retry: Base grown
+// by Factor^attempt, capped at Max.
+func (p Policy) grown(attempt int) time.Duration {
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Backoff is the schedule's mutable state: how many attempts have been
+// consumed and the seeded jitter stream. Not safe for concurrent use; the
+// supervisor drives it from one goroutine.
+type Backoff struct {
+	p       Policy
+	attempt int
+	rng     *hashing.PRNG
+}
+
+// New returns a backoff over the (defaulted) policy with a deterministic
+// jitter stream derived from seed.
+func New(p Policy, seed uint64) *Backoff {
+	return &Backoff{p: p.withDefaults(), rng: hashing.NewPRNG(seed)}
+}
+
+// Policy returns the defaulted policy the backoff runs under.
+func (b *Backoff) Policy() Policy { return b.p }
+
+// Attempt returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Next returns the delay to wait before the next retry and advances the
+// attempt counter. The returned delay always lies within
+// Policy.Bounds(attempt) for the attempt value before the call.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.p.grown(b.attempt))
+	b.attempt++
+	if b.p.Jitter > 0 {
+		// Uniform in [d*(1-j), d*(1+j)]: one draw, centered on d so the
+		// expected schedule is exactly the exponential curve.
+		d *= 1 - b.p.Jitter + 2*b.p.Jitter*b.rng.Float64()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Reset returns the schedule to the first attempt — called once the
+// supervised system has stayed healthy long enough to declare recovery.
+// The jitter stream is deliberately NOT rewound, so a reset-then-fail
+// sequence keeps drawing fresh jitter instead of replaying the old one.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -1,0 +1,107 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextStaysWithinBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.25}
+	b := New(p, 42)
+	for attempt := 0; attempt < 12; attempt++ {
+		lo, hi := p.Bounds(attempt)
+		d := b.Next()
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+}
+
+func TestScheduleGrowsAndCaps(t *testing.T) {
+	// Jitter off: the schedule must be exactly Base*Factor^n capped at Max.
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0}
+	b := New(p, 1)
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := b.Next(); d != w {
+			t.Fatalf("attempt %d: delay %v, want %v", i, d, w)
+		}
+	}
+	if b.Attempt() != len(want) {
+		t.Fatalf("Attempt() = %d, want %d", b.Attempt(), len(want))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := Policy{Base: 50 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.3}
+	a, b := New(p, 7), New(p, 7)
+	for i := 0; i < 10; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+	// A different seed must produce a different jitter stream somewhere.
+	c := New(p, 8)
+	a.Reset()
+	same := 0
+	for i := 0; i < 10; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Fatal("differently seeded backoffs produced identical jitter streams")
+	}
+}
+
+func TestResetRestartsSchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 4, Jitter: 0}
+	b := New(p, 3)
+	for i := 0; i < 4; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("Attempt() after Reset = %d, want 0", b.Attempt())
+	}
+	if d := b.Next(); d != p.Base {
+		t.Fatalf("first delay after Reset = %v, want Base %v", d, p.Base)
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	b := New(Policy{}, 1)
+	p := b.Policy()
+	// Jitter deliberately keeps its zero value: 0 means "no jitter", and an
+	// exact schedule must be expressible; callers that want the recommended
+	// fraction opt in with DefaultJitter.
+	if p.Base != DefaultBase || p.Max != DefaultMax || p.Factor != DefaultFactor || p.Jitter != 0 {
+		t.Fatalf("zero policy defaulted to %+v", p)
+	}
+	lo, hi := p.Bounds(0)
+	if d := b.Next(); d < lo || d > hi {
+		t.Fatalf("defaulted first delay %v outside [%v, %v]", d, lo, hi)
+	}
+}
+
+func TestDegeneratePolicies(t *testing.T) {
+	// Factor <= 1 pins the schedule at Base; Max below Base is raised to it;
+	// Jitter is clamped below 1 so delays never collapse to zero or negative.
+	b := New(Policy{Base: 20 * time.Millisecond, Max: 5 * time.Millisecond, Factor: 0.5, Jitter: 2}, 9)
+	for i := 0; i < 5; i++ {
+		d := b.Next()
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d)
+		}
+		if d > 40*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v grew despite Factor<=1 (max jittered base is 2*Base)", i, d)
+		}
+	}
+}

@@ -29,9 +29,10 @@ type Injector struct {
 	rng *hashing.PRNG
 
 	// Ledgers, readable while injection is ongoing.
-	dropped  atomic.Uint64 // batches suppressed by DropBatches
-	stalls   atomic.Uint64 // stalls injected by StallQueues / SlowConsumer
-	panicked atomic.Uint64 // panics thrown by PanicWorker
+	dropped         atomic.Uint64 // batches suppressed by DropBatches
+	stalls          atomic.Uint64 // stalls injected by StallQueues / SlowConsumer
+	panicked        atomic.Uint64 // panics thrown by PanicWorker / ArmedPanic
+	checkpointFails atomic.Uint64 // checkpoint writes failed by FailCheckpoints
 }
 
 // New returns an injector seeded for reproducibility.

@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP-level injectors for the chaos-serve suite. These model misbehaving
+// clients and failing persistence at the service boundary — the faults the
+// self-healing layer (admission control, server timeouts, supervisor
+// checkpoints) exists to absorb — with the same determinism contract as
+// the ingest-path injectors: plain values plugged into production hooks,
+// no test-only code paths in the daemon itself.
+
+// SlowReader is an io.Reader serving payload in fixed-size chunks with a
+// sleep before each one — a slowloris request body. Wrapped in an HTTP
+// request it holds a server connection open for roughly
+// ceil(len(payload)/chunk) * delay, which must trip a configured
+// ReadTimeout long before a well-behaved client would finish.
+type SlowReader struct {
+	payload []byte
+	chunk   int
+	delay   time.Duration
+	off     int
+}
+
+// NewSlowReader returns a SlowReader emitting payload in chunk-byte pieces
+// with delay before each piece. chunk < 1 is raised to 1.
+func NewSlowReader(payload []byte, chunk int, delay time.Duration) *SlowReader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &SlowReader{payload: payload, chunk: chunk, delay: delay}
+}
+
+// Read implements io.Reader: sleep, then hand over the next chunk.
+func (r *SlowReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.payload) {
+		return 0, io.EOF
+	}
+	time.Sleep(r.delay)
+	n := r.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if rem := len(r.payload) - r.off; n > rem {
+		n = rem
+	}
+	copy(p, r.payload[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+// ErrInjectedDisconnect is the error a DisconnectReader returns mid-body,
+// modeling a client whose connection died partway through an upload.
+var ErrInjectedDisconnect = errors.New("faultinject: injected client disconnect")
+
+// DisconnectReader is an io.Reader that serves the first `after` bytes of
+// payload and then fails with ErrInjectedDisconnect — a mid-body client
+// disconnect. The server must reject the truncated request without
+// admitting any of its packets or leaking an admission slot.
+type DisconnectReader struct {
+	payload []byte
+	after   int
+	off     int
+}
+
+// NewDisconnectReader returns a DisconnectReader cutting the connection
+// after `after` bytes of payload. after is clamped to [0, len(payload)].
+func NewDisconnectReader(payload []byte, after int) *DisconnectReader {
+	if after < 0 {
+		after = 0
+	}
+	if after > len(payload) {
+		after = len(payload)
+	}
+	return &DisconnectReader{payload: payload, after: after}
+}
+
+// Read implements io.Reader: serve bytes up to the cut point, then error.
+func (r *DisconnectReader) Read(p []byte) (int, error) {
+	if r.off >= r.after {
+		return 0, ErrInjectedDisconnect
+	}
+	n := r.after - r.off
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, r.payload[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+// FailCheckpoints returns a snapfile BeforeRename hook that fails the
+// first n checkpoint writes with ErrInjectedCrash and lets every later
+// one through — a transiently failing disk. Failures are counted in the
+// injector's CheckpointFailures ledger; the destination file keeps its
+// previous content across each failure (snapfile's contract).
+func (in *Injector) FailCheckpoints(n int) func(tmpPath string) error {
+	var seen atomic.Int64
+	return func(string) error {
+		if seen.Add(1) <= int64(n) {
+			in.checkpointFails.Add(1)
+			return ErrInjectedCrash
+		}
+		return nil
+	}
+}
+
+// CheckpointFailures returns how many checkpoint writes FailCheckpoints
+// hooks have failed.
+func (in *Injector) CheckpointFailures() uint64 { return in.checkpointFails.Load() }
+
+// ArmedPanic is an OnWorkerBatch hook whose panic is armed explicitly
+// rather than scheduled by batch count — the shape service-level chaos
+// tests need, where "panic the worker now, mid-epoch" must be sequenced
+// against HTTP requests, not against ingest batch numbering. Disarmed it
+// is a no-op; once armed, the next batch on the target shard panics and
+// the hook disarms itself (rotation replaces the shard set, so exactly
+// one epoch takes the fault per arming).
+type ArmedPanic struct {
+	in     *Injector
+	target int
+	armed  atomic.Bool
+}
+
+// ArmedPanicWorker returns an armed-panic hook for the target shard,
+// counting its panics in the injector's ledger.
+func (in *Injector) ArmedPanicWorker(targetShard int) *ArmedPanic {
+	return &ArmedPanic{in: in, target: targetShard}
+}
+
+// Arm makes the next batch on the target shard panic.
+func (a *ArmedPanic) Arm() { a.armed.Store(true) }
+
+// Hook returns the OnWorkerBatch function to install in ShardedHooks.
+func (a *ArmedPanic) Hook() func(shard, packets int) {
+	return func(shard, packets int) {
+		if shard != a.target || !a.armed.Load() {
+			return
+		}
+		if a.armed.CompareAndSwap(true, false) {
+			a.in.panicked.Add(1)
+			panic("faultinject: injected armed worker panic")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestSlowReaderDeliversEverythingSlowly(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 64)
+	r := NewSlowReader(payload, 16, time.Millisecond)
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: got %d bytes", len(got))
+	}
+	// 64 bytes at 16/chunk = 4 chunks, each preceded by 1ms.
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("read finished in %v, want >= 4ms of injected delay", elapsed)
+	}
+}
+
+func TestSlowReaderClampsChunk(t *testing.T) {
+	r := NewSlowReader([]byte("ab"), 0, 0)
+	buf := make([]byte, 8)
+	n, err := r.Read(buf)
+	if err != nil || n != 1 {
+		t.Fatalf("Read with clamped chunk = (%d, %v), want (1, nil)", n, err)
+	}
+}
+
+func TestDisconnectReaderCutsMidBody(t *testing.T) {
+	payload := []byte(`{"flows":[1,2,3,4,5]}`)
+	r := NewDisconnectReader(payload, 7)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjectedDisconnect) {
+		t.Fatalf("ReadAll error = %v, want ErrInjectedDisconnect", err)
+	}
+	if !bytes.Equal(got, payload[:7]) {
+		t.Fatalf("delivered %q before the cut, want %q", got, payload[:7])
+	}
+}
+
+func TestDisconnectReaderClampsCutPoint(t *testing.T) {
+	r := NewDisconnectReader([]byte("abc"), 99)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjectedDisconnect) || string(got) != "abc" {
+		t.Fatalf("clamped cut: got (%q, %v)", got, err)
+	}
+}
+
+func TestFailCheckpointsFailsFirstNThenRecovers(t *testing.T) {
+	in := New(1)
+	hook := in.FailCheckpoints(2)
+	for i := 0; i < 2; i++ {
+		if err := hook("tmp"); !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("failure %d: err = %v, want ErrInjectedCrash", i, err)
+		}
+	}
+	if err := hook("tmp"); err != nil {
+		t.Fatalf("post-recovery write failed: %v", err)
+	}
+	if got := in.CheckpointFailures(); got != 2 {
+		t.Fatalf("CheckpointFailures = %d, want 2", got)
+	}
+}
+
+func TestArmedPanicFiresOncePerArming(t *testing.T) {
+	in := New(1)
+	ap := in.ArmedPanicWorker(1)
+	hook := ap.Hook()
+
+	hook(1, 10) // disarmed: no-op
+	hook(0, 10) // wrong shard: no-op
+
+	ap.Arm()
+	hook(0, 10) // wrong shard stays safe while armed
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		hook(1, 10)
+		return false
+	}
+	if !panicked() {
+		t.Fatal("armed hook did not panic on the target shard")
+	}
+	// Disarmed itself: the replacement worker must survive.
+	hook(1, 10)
+	if got := in.Panics(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+
+	ap.Arm()
+	if !panicked() {
+		t.Fatal("re-armed hook did not panic again")
+	}
+	if got := in.Panics(); got != 2 {
+		t.Fatalf("Panics after re-arm = %d, want 2", got)
+	}
+}

@@ -1,0 +1,98 @@
+package supervise
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one ops-visible entry in the recovery log: a supervisor action,
+// a health transition, or an injected-fault observation. Seq is a
+// monotonically increasing identifier that survives ring eviction, so a
+// reader polling /events can detect gaps (events it missed) by comparing
+// consecutive Seq values.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg"`
+}
+
+// Well-known event kinds appended by the supervisor. Callers may append
+// their own kinds (the serve daemon logs "quarantine" and "reconcile").
+const (
+	KindRotate     = "rotate"     // forced seal+rotate issued
+	KindRotateErr  = "rotate-err" // forced rotation failed
+	KindHealed     = "healed"     // window healthy again, backoff reset
+	KindDegraded   = "degraded"   // health left Healthy
+	KindCheckpoint = "checkpoint" // periodic checkpoint written
+	KindCheckErr   = "check-err"  // periodic checkpoint failed
+)
+
+// EventLog is a bounded, concurrency-safe ring of events. Appends never
+// block and never allocate beyond the formatted message; once the ring is
+// full the oldest event is evicted. The zero value is unusable — use
+// NewEventLog.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // Seq of the next appended event
+	start int    // index of the oldest event in buf
+	n     int    // number of live events in buf
+	now   func() time.Time
+}
+
+// DefaultEventLogSize bounds the ring when NewEventLog is given a
+// non-positive capacity. 256 events is hours of supervisor activity at any
+// sane backoff cadence while keeping /events responses small.
+const DefaultEventLogSize = 256
+
+// NewEventLog returns a ring holding at most size events. now stamps each
+// event; nil selects time.Now. Tests pass a fake clock for deterministic
+// timestamps.
+func NewEventLog(size int, now func() time.Time) *EventLog {
+	if size <= 0 {
+		size = DefaultEventLogSize
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &EventLog{buf: make([]Event, size), now: now}
+}
+
+// Append records an event of the given kind with a formatted message and
+// returns its sequence number.
+func (l *EventLog) Append(kind, format string, args ...any) uint64 {
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.next
+	l.next++
+	ev := Event{Seq: seq, Time: l.now(), Kind: kind, Msg: msg}
+	if l.n < len(l.buf) {
+		l.buf[(l.start+l.n)%len(l.buf)] = ev
+		l.n++
+	} else {
+		l.buf[l.start] = ev
+		l.start = (l.start + 1) % len(l.buf)
+	}
+	return seq
+}
+
+// Events returns a copy of the live events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Len returns the number of live events in the ring.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

@@ -225,6 +225,12 @@ type ShardedHooks struct {
 	// applied to the shard sketch. Sleeping models a slow consumer; a panic
 	// exercises the quarantine machinery exactly like a real worker fault.
 	OnWorkerBatch func(shard, packets int)
+	// OnQuarantine fires once per shard, on whichever goroutine first
+	// quarantines it (worker recover, flush, estimator, or the shutdown
+	// watchdog), with the recorded reason. The self-healing service layer
+	// uses it to log the fault and kick the supervisor without polling.
+	// Must not block and must not call back into the Sharded.
+	OnQuarantine func(shard int, reason string)
 }
 
 // ShardedOptions tunes the ingest machinery. The zero value selects the
@@ -491,6 +497,9 @@ func (s *Sharded) quarantineShard(i int, reason string) {
 		s.panicMu.Lock()
 		s.panicReasons[i] = reason
 		s.panicMu.Unlock()
+		if hook := s.opts.Hooks.OnQuarantine; hook != nil {
+			hook(i, reason)
+		}
 	}
 }
 

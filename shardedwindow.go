@@ -554,6 +554,20 @@ func (w *ShardedWindow) Epochs() []EpochView {
 	return views
 }
 
+// LastSealed returns a view of the most recently sealed epoch, or ok=false
+// when nothing has been sealed yet. The degraded read path in caesar-serve
+// answers from this epoch (with loss-adjusted estimates and staleness
+// headers) while the live epoch is unhealthy.
+func (w *ShardedWindow) LastSealed() (EpochView, bool) {
+	w.ringMu.RLock()
+	defer w.ringMu.RUnlock()
+	n := w.lc.Len()
+	if n == 0 {
+		return EpochView{}, false
+	}
+	return EpochView{w: w, we: w.lc.At(n - 1)}, true
+}
+
 // EpochView is a frozen query handle over one sealed epoch — the unit the
 // detectors consume (per-epoch heavy hitters, epoch-over-epoch change
 // detection). All query methods serialize on the window's query mutex.

@@ -77,6 +77,15 @@ func (w *ShardedWindow) SnapshotFile(path string) error {
 // ordinal — so its hash seeds, and every later epoch's, match what the
 // writer would have used had it kept running.
 func ReadShardedWindow(r io.Reader) (*ShardedWindow, error) {
+	return ReadShardedWindowOptions(r, ShardedOptions{})
+}
+
+// ReadShardedWindowOptions is ReadShardedWindow with explicit ingest
+// tuning for the restored window. Snapshots persist only the counter
+// state, not the runtime options, so a daemon restoring a checkpoint must
+// re-supply its overflow policy and hooks here or the fresh current epoch
+// (and every later one) silently reverts to the defaults.
+func ReadShardedWindowOptions(r io.Reader, opts ShardedOptions) (*ShardedWindow, error) {
 	payload, _, err := sketch.ReadSnapshot(r, shardedWindowAlgoName)
 	if err != nil {
 		return nil, err
@@ -152,6 +161,7 @@ func ReadShardedWindow(r io.Reader) (*ShardedWindow, error) {
 	w := &ShardedWindow{
 		cfg:            cfg,
 		nshards:        nshards,
+		opts:           opts,
 		retiredPackets: retiredPackets,
 		retiredDropped: retiredDropped,
 		retiredStats:   retired,
