@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos chaos-serve fuzz-smoke snapshot-compat bench-json bench-smoke serve-smoke ci
+.PHONY: build test race vet lint lint-vettool lint-waivers lint-json chaos chaos-serve fuzz-smoke snapshot-compat bench-json bench-matrix bench-diff bench-smoke hashquality serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -85,15 +85,41 @@ bench-json:
 	$(GO) run ./cmd/caesar-bench -perf -perf-out BENCH_PR3.json -perf-count 5
 	$(GO) run ./cmd/caesar-bench -perf-query -perf-out BENCH_PR5.json -perf-count 5
 	$(GO) run ./cmd/caesar-bench -perf-ingest -perf-out BENCH_PR8.json -perf-count 5
+	$(GO) run ./cmd/caesar-bench -perf-matrix -cpus 1,2,4,8 -perf-out BENCH_PR10.json -perf-count 5
+
+# Just the flow-ID / fused-pipeline / GOMAXPROCS matrix report
+# (BENCH_PR10.json), without re-running the other three suites.
+bench-matrix:
+	$(GO) run ./cmd/caesar-bench -perf-matrix -cpus 1,2,4,8 -perf-out BENCH_PR10.json -perf-count 5
+
+# Compares two committed perf reports benchmark by benchmark; a delta only
+# counts as a change when it clears both sides' best..worst run spread.
+# Usage: make bench-diff [OLD=BENCH_PR8.json] [NEW=BENCH_PR10.json]
+OLD ?= BENCH_PR8.json
+NEW ?= BENCH_PR10.json
+bench-diff:
+	$(GO) run ./cmd/caesar-bench bench-diff $(OLD) $(NEW)
+
+# Statistical gates on the flow-ID stage (internal/hashing/quality_test.go):
+# per-input-bit avalanche for the fast keyed hash, the SHA-1 derivation, and
+# the Mix64 finalizer (with a teeth test proving the thresholds reject a
+# weakened mixer), KSelector chi-square uniformity, and the million-flow
+# collision census for both hashes.
+hashquality:
+	$(GO) test -run 'TestHashQuality' -count=1 ./internal/hashing
 
 # Fast perf gate for CI: no hot path may allocate — single-sketch ingest
 # (TestSketchObserveZeroAllocs), sharded line-rate ingest
-# (TestIngestZeroAllocs), and bulk query (TestEstimateManyZeroAllocs) are
-# deterministic gates; the bench runs also surface the ns/op trend in the
-# job log.
+# (TestIngestZeroAllocs), bulk query (TestEstimateManyZeroAllocs), and the
+# fused tuple-block path (TestFlowIDZeroAllocs, plus the FlowIDer scratch
+# gate in internal/hashing) are deterministic gates; the bench runs also
+# surface the ns/op trend — including the fast flow-ID hash — in the job
+# log.
 bench-smoke:
-	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs|TestIngestZeroAllocs' -count=1 .
+	$(GO) test -run='TestSketchObserveZeroAllocs|TestEstimateManyZeroAllocs|TestIngestZeroAllocs|TestFlowIDZeroAllocs' -count=1 .
+	$(GO) test -run='TestFlowIDerZeroAllocs' -count=1 ./internal/hashing
 	$(GO) test -run='^$$' -bench='BenchmarkSketchObserve$$' -benchtime=100x -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkFlowID' -benchtime=100x -benchmem ./internal/hashing
 
 # End-to-end drill of the live measurement service (docs/SERVICE.md):
 # builds the real caesar-serve binary, boots it on a trace replay with
@@ -103,4 +129,4 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -run=TestServeSmoke -count=1 -v ./cmd/caesar-serve
 
-ci: build vet test race lint lint-vettool lint-waivers chaos chaos-serve fuzz-smoke snapshot-compat bench-smoke serve-smoke
+ci: build vet test race lint lint-vettool lint-waivers chaos chaos-serve fuzz-smoke snapshot-compat bench-smoke hashquality serve-smoke

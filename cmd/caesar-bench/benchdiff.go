@@ -1,0 +1,175 @@
+package main
+
+// bench-diff subcommand: compare two committed BENCH_*.json perf reports
+// benchmark by benchmark. Every report in this repository stores each
+// benchmark's full set of per-run timings (ns_op_runs) next to the best-of-N
+// headline, so a diff can do better than comparing two point estimates: the
+// min..max spread of each side's runs is its noise envelope, and a delta is
+// only called a change when the two envelopes do not overlap. Overlapping
+// envelopes print as "within noise" — the honest answer on a shared, noisy
+// machine.
+//
+// The loader is shape-agnostic: it walks the report's JSON document and
+// collects every object that looks like a perfBenchmark ({"name": ...,
+// "ns_op": ...}), wherever it nests — flat lists (BENCH_PR3), named sections
+// (BENCH_PR8), or the per-GOMAXPROCS matrix of BENCH_PR10 — so any two
+// reports that share benchmark names can be diffed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// diffEntry is the subset of perfBenchmark the diff needs.
+type diffEntry struct {
+	NsOp     float64
+	RunMin   float64
+	RunMax   float64
+	AllocsOp int64
+}
+
+// collectBenchmarks walks decoded JSON and records every perfBenchmark-shaped
+// object by name. Later duplicates of a name are ignored (first wins), which
+// keeps the CPU-matrix's per-cpus entries distinct: their names already carry
+// the /cpus=N suffix, so genuine duplicates only arise if a report repeats a
+// section.
+func collectBenchmarks(v any, out map[string]diffEntry) {
+	switch node := v.(type) {
+	case map[string]any:
+		if name, ok := node["name"].(string); ok {
+			if ns, ok := node["ns_op"].(float64); ok {
+				if _, seen := out[name]; !seen {
+					e := diffEntry{NsOp: ns, RunMin: ns, RunMax: ns}
+					if runs, ok := node["ns_op_runs"].([]any); ok {
+						for _, r := range runs {
+							if f, ok := r.(float64); ok {
+								if f < e.RunMin {
+									e.RunMin = f
+								}
+								if f > e.RunMax {
+									e.RunMax = f
+								}
+							}
+						}
+					}
+					if a, ok := node["allocs_op"].(float64); ok {
+						e.AllocsOp = int64(a)
+					}
+					out[name] = e
+				}
+				return
+			}
+		}
+		// Deterministic recursion order so "first wins" is stable run to run.
+		keys := make([]string, 0, len(node))
+		for k := range node {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			collectBenchmarks(node[k], out)
+		}
+	case []any:
+		for _, elem := range node {
+			collectBenchmarks(elem, out)
+		}
+	}
+}
+
+// loadBenchFile reads a BENCH_*.json report into name → entry.
+func loadBenchFile(path string) (map[string]diffEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]diffEntry)
+	collectBenchmarks(doc, out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries found", path)
+	}
+	return out, nil
+}
+
+// runBenchDiff prints the per-benchmark delta table for the names present in
+// both reports, then a one-line summary of what was skipped on each side.
+func runBenchDiff(oldPath, newPath string) error {
+	oldB, err := loadBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+
+	var common, oldOnly, newOnly []string
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			common = append(common, name)
+		} else {
+			oldOnly = append(oldOnly, name)
+		}
+	}
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(oldOnly)
+	sort.Strings(newOnly)
+
+	if len(common) == 0 {
+		return fmt.Errorf("bench-diff: %s and %s share no benchmark names", oldPath, newPath)
+	}
+
+	fmt.Printf("bench-diff: %s (%d entries) -> %s (%d entries), %d comparable\n\n",
+		oldPath, len(oldB), newPath, len(newB), len(common))
+	fmt.Printf("%-44s %12s %12s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, name := range common {
+		o, n := oldB[name], newB[name]
+		delta := 0.0
+		if o.NsOp > 0 {
+			delta = 100 * (n.NsOp - o.NsOp) / o.NsOp
+		}
+		// The envelopes are each side's observed best..worst run. A real
+		// change moves the new runs entirely outside the old spread.
+		verdict := "within noise"
+		if n.RunMin > o.RunMax {
+			verdict = fmt.Sprintf("SLOWER (noise %.0f..%.0f vs %.0f..%.0f)", o.RunMin, o.RunMax, n.RunMin, n.RunMax)
+		} else if n.RunMax < o.RunMin {
+			verdict = fmt.Sprintf("faster (noise %.0f..%.0f vs %.0f..%.0f)", o.RunMin, o.RunMax, n.RunMin, n.RunMax)
+		}
+		if n.AllocsOp != o.AllocsOp {
+			verdict += fmt.Sprintf("; allocs %d -> %d", o.AllocsOp, n.AllocsOp)
+		}
+		fmt.Printf("%-44s %12.2f %12.2f %+8.1f%%  %s\n", name, o.NsOp, n.NsOp, delta, verdict)
+	}
+	if len(oldOnly) > 0 {
+		fmt.Printf("\nonly in %s: %d (%s ...)\n", oldPath, len(oldOnly), firstN(oldOnly, 3))
+	}
+	if len(newOnly) > 0 {
+		fmt.Printf("only in %s: %d (%s ...)\n", newPath, len(newOnly), firstN(newOnly, 3))
+	}
+	return nil
+}
+
+func firstN(names []string, n int) string {
+	if len(names) < n {
+		n = len(names)
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += names[i]
+	}
+	return out
+}

@@ -8,6 +8,8 @@
 //	caesar-bench -perf [-perf-out BENCH_PR3.json] [-perf-count 5]
 //	caesar-bench -perf-query [-perf-out BENCH_PR5.json] [-perf-count 5]
 //	caesar-bench -perf-ingest [-perf-out BENCH_PR8.json] [-perf-count 5]
+//	caesar-bench -perf-matrix [-cpus 1,2,4,8] [-perf-out BENCH_PR10.json] [-perf-count 5]
+//	caesar-bench bench-diff OLD.json NEW.json
 //
 // Experiment ids follow the DESIGN.md index (fig3..fig8, tbl-*, abl-*);
 // -list prints them all, -run all (default) runs everything in order, and
@@ -18,7 +20,13 @@
 // query.go) and writes the report committed as BENCH_PR5.json;
 // -perf-ingest runs the line-rate ingest pipeline benchmarks — SPSC ring
 // vs channel hand-off, block vs scalar shard routing, queue-depth sweep,
-// and end-to-end pcap replay (see ingest.go) — and writes BENCH_PR8.json.
+// and end-to-end pcap replay (see ingest.go) — and writes BENCH_PR8.json;
+// -perf-matrix runs the flow-ID-stage and fused-pipeline benchmarks over
+// the -cpus GOMAXPROCS matrix (see matrix.go) and writes BENCH_PR10.json.
+//
+// The bench-diff subcommand compares two committed BENCH_*.json reports
+// benchmark by benchmark, flagging deltas that exceed each side's observed
+// run-to-run noise envelope (see benchdiff.go).
 package main
 
 import (
@@ -33,6 +41,18 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch precedes flag parsing: bench-diff has positional
+	// file arguments, not flags.
+	if len(os.Args) > 1 && os.Args[1] == "bench-diff" {
+		if len(os.Args) != 4 {
+			fatal(fmt.Errorf("usage: caesar-bench bench-diff OLD.json NEW.json"))
+		}
+		if err := runBenchDiff(os.Args[2], os.Args[3]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small, medium, or paper")
 		seed       = flag.Uint64("seed", 1, "workload seed")
@@ -42,19 +62,21 @@ func main() {
 		perf       = flag.Bool("perf", false, "run the ingest-path micro-benchmarks and write a perf report instead of experiments")
 		perfQuery  = flag.Bool("perf-query", false, "run the query-path micro-benchmarks and write a perf report instead of experiments")
 		perfIngest = flag.Bool("perf-ingest", false, "run the line-rate ingest pipeline benchmarks and write a perf report instead of experiments")
-		perfOut    = flag.String("perf-out", "", "perf report output path (default BENCH_PR3.json with -perf, BENCH_PR5.json with -perf-query, BENCH_PR8.json with -perf-ingest)")
-		perfCount  = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf/-perf-query/-perf-ingest)")
+		perfMatrix = flag.Bool("perf-matrix", false, "run the flow-ID and fused-pipeline benchmarks over a GOMAXPROCS matrix and write a perf report instead of experiments")
+		cpusFlag   = flag.String("cpus", "1,2,4,8", "comma-separated GOMAXPROCS values for the -perf-matrix CPU matrix")
+		perfOut    = flag.String("perf-out", "", "perf report output path (default BENCH_PR3.json with -perf, BENCH_PR5.json with -perf-query, BENCH_PR8.json with -perf-ingest, BENCH_PR10.json with -perf-matrix)")
+		perfCount  = flag.Int("perf-count", 5, "benchmark repetitions per entry (with -perf/-perf-query/-perf-ingest/-perf-matrix)")
 	)
 	flag.Parse()
 
 	perfModes := 0
-	for _, m := range []bool{*perf, *perfQuery, *perfIngest} {
+	for _, m := range []bool{*perf, *perfQuery, *perfIngest, *perfMatrix} {
 		if m {
 			perfModes++
 		}
 	}
 	if perfModes > 1 {
-		fatal(fmt.Errorf("-perf, -perf-query, and -perf-ingest are mutually exclusive"))
+		fatal(fmt.Errorf("-perf, -perf-query, -perf-ingest, and -perf-matrix are mutually exclusive"))
 	}
 	if *perf {
 		out := *perfOut
@@ -78,6 +100,18 @@ func main() {
 			out = "BENCH_PR8.json"
 		}
 		runIngestPerf(out, *perfCount)
+		return
+	}
+	if *perfMatrix {
+		out := *perfOut
+		if out == "" {
+			out = "BENCH_PR10.json"
+		}
+		cpus, err := parseCPUList(*cpusFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runMatrixPerf(out, *perfCount, cpus)
 		return
 	}
 

@@ -66,6 +66,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "base hash seed; epochs derive theirs from it")
 
 		overflow        = flag.String("overflow", "block", "ingest overflow policy: block, drop, or sample")
+		flowHash        = flag.String("flow-hash", "sha1", "tuple flow-ID derivation: sha1 (paper-faithful) or fast (keyed SipHash)")
 		maxBody         = flag.Int64("max-body", 1<<20, "POST /observe body size cap in bytes")
 		maxInflight     = flag.Int("max-inflight", 64, "concurrently admitted /observe requests before shedding")
 		observeTimeout  = flag.Duration("observe-timeout", time.Second, "how long a shed-candidate /observe may wait for admission (block/sample policies)")
@@ -81,12 +82,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("caesar-serve: %v", err)
 	}
+	fh, err := parseFlowHash(*flowHash)
+	if err != nil {
+		log.Fatalf("caesar-serve: %v", err)
+	}
 
 	// The quarantine hook must be installed at window construction, before
 	// the server that consumes it exists; the cell closes the loop.
 	var srvCell atomic.Pointer[server]
 	shOpts := caesar.ShardedOptions{
 		OverflowPolicy: pol,
+		FlowHash:       fh,
 		Hooks: caesar.ShardedHooks{
 			OnQuarantine: func(shard int, reason string) {
 				if s := srvCell.Load(); s != nil {
@@ -237,6 +243,21 @@ func parseOverflow(s string) (caesar.OverflowPolicy, error) {
 		return caesar.Sample, nil
 	}
 	return caesar.Block, fmt.Errorf("unknown overflow policy %q (want block, drop, or sample)", s)
+}
+
+// parseFlowHash maps the -flow-hash flag to the tuple flow-ID derivation.
+// Like the overflow policy, this is runtime behavior, not persisted state: a
+// window restored from a checkpoint must be given the same flow hash (and
+// seed) its packets were ingested under, or tuple queries will look up IDs
+// no counter has seen.
+func parseFlowHash(s string) (caesar.FlowHash, error) {
+	switch s {
+	case "", "sha1":
+		return caesar.FlowHashSHA1, nil
+	case "fast":
+		return caesar.FlowHashFast, nil
+	}
+	return caesar.FlowHashSHA1, fmt.Errorf("unknown flow hash %q (want sha1 or fast)", s)
 }
 
 // openWindow loads the checkpoint when one exists, otherwise builds a fresh

@@ -3,10 +3,13 @@
 //
 // This is the end-to-end hot path the -perf-ingest benchmarks time: packets
 // are decoded in blocks into a reused buffer (zero allocations per record),
-// hashed to flow IDs, and handed to a sharded sketch through a per-producer
-// Ingester whose ObserveBatch routes whole blocks to the shard workers over
-// lock-free SPSC rings. A real deployment would run one Ingester per capture
-// thread; the example streams one file single-threaded.
+// their 5-tuples extracted into a reused block, and the whole block handed
+// to a sharded sketch through a per-producer Ingester whose ObservePackets
+// fuses flow-ID hashing (the keyed fast hash, via the block-pipelined
+// FlowIDer.IDBlock), shard routing, and buffer dispatch under one lock
+// acquisition — no per-packet call anywhere between the capture file and
+// the shard workers' lock-free SPSC rings. A real deployment would run one
+// Ingester per capture thread; the example streams one file single-threaded.
 //
 // Since this repository ships no capture files, the example first writes a
 // small synthetic capture to a temp file (using the same writer
@@ -52,39 +55,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s, err := caesar.NewSharded(4, caesar.Config{
+	s, err := caesar.NewShardedOptions(4, caesar.Config{
 		Counters:      1 << 14,
 		CacheEntries:  1 << 10,
 		CacheCapacity: 64,
 		Seed:          1,
-	})
+	}, caesar.ShardedOptions{FlowHash: caesar.FlowHashFast})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The streaming loop: decode a block of packets into a reused buffer,
-	// hash each 5-tuple to its flow ID, and hand the whole block to the
-	// sharded sketch in one ObserveBatch call. The truth/tuple maps exist
-	// only so the example can print an actual-vs-estimated table; a real
-	// collector would keep neither.
+	// The fused streaming loop: decode a block of packets into a reused
+	// buffer, extract the 5-tuples into a reused block, and hand the whole
+	// block to ObservePackets, which hashes (FlowIDer.IDBlock), routes, and
+	// buffers it in one call. The truth/tuple maps exist only so the example
+	// can print an actual-vs-estimated table; a real collector would keep
+	// neither. They key by s.HashTuple — the same derivation the ingest path
+	// used — so the printed estimates address the counters the packets
+	// actually landed in.
 	var (
 		pkts   [256]pcap.Packet
-		ids    [256]caesar.FlowID
+		tup    = make([]hashing.FiveTuple, 0, 256)
 		truth  = make(map[caesar.FlowID]uint64)
 		tuples = make(map[caesar.FlowID]hashing.FiveTuple)
 	)
 	h := s.Ingester()
 	for {
 		n, err := r.ReadBlock(pkts[:])
+		tup = pcap.AppendTuples(tup[:0], pkts[:n])
+		h.ObservePackets(tup)
 		for i := 0; i < n; i++ {
-			id := pkts[i].Tuple.ID()
-			ids[i] = id
+			id := s.HashTuple(pkts[i].Tuple)
 			truth[id]++
 			if _, ok := tuples[id]; !ok {
 				tuples[id] = pkts[i].Tuple
 			}
 		}
-		h.ObserveBatch(ids[:n])
 		if err == io.EOF {
 			break
 		}

@@ -56,6 +56,7 @@ func All() []Experiment {
 		{"abl-policy", "Ablation: LRU vs random replacement", AblationPolicy},
 		{"abl-mem", "Ablation: off-chip memory size L", AblationMemory},
 		{"abl-lossacct", "Loss accounting: measured loss rates and the (1-rho) correction", AblationLossAccounting},
+		{"abl-flowhash", "Fast keyed flow-ID hash accuracy vs SHA-1 (Section 6.1's front end)", AblationFlowHash},
 	}
 }
 

@@ -1,0 +1,205 @@
+package hashing
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// refSipHash24 is a straightforward, loop-based SipHash-2-4 over a byte
+// slice — the textbook formulation. The production FlowIDer must agree with
+// it bit for bit on the tuple wire encoding: that pins both the unrolled
+// round structure and the direct field-to-word packing.
+func refSipHash24(k0, k1 uint64, data []byte) uint64 {
+	v0 := k0 ^ 0x736f6d6570736575
+	v1 := k1 ^ 0x646f72616e646f6d
+	v2 := k0 ^ 0x6c7967656e657261
+	v3 := k1 ^ 0x7465646279746573
+	round := func() {
+		v0, v1, v2, v3 = sipRound(v0, v1, v2, v3)
+	}
+	n := len(data)
+	for len(data) >= 8 {
+		m := binary.LittleEndian.Uint64(data[:8])
+		v3 ^= m
+		round()
+		round()
+		v0 ^= m
+		data = data[8:]
+	}
+	var tail uint64
+	for i := len(data) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(data[i])
+	}
+	tail |= uint64(n) << 56
+	v3 ^= tail
+	round()
+	round()
+	v0 ^= tail
+	v2 ^= 0xff
+	round()
+	round()
+	round()
+	round()
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+func randomTuples(n int, seed uint64) []FiveTuple {
+	p := NewPRNG(seed)
+	out := make([]FiveTuple, n)
+	for i := range out {
+		out[i] = FiveTuple{
+			SrcIP:   uint32(p.Next()),
+			DstIP:   uint32(p.Next()),
+			SrcPort: uint16(p.Next()),
+			DstPort: uint16(p.Next()),
+			Proto:   byte(p.Next()),
+		}
+	}
+	return out
+}
+
+func TestFlowIDerMatchesReferenceSipHash(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		h := NewFlowIDer(seed)
+		k0 := SeedMix(seed)
+		k1 := SeedMix(seed ^ flowIDKeyTweak)
+		for _, ft := range randomTuples(500, seed+3) {
+			want := FlowID(refSipHash24(k0, k1, ft.AppendBytes(nil)))
+			if got := h.ID(ft); got != want {
+				t.Fatalf("seed %#x tuple %v: FlowIDer.ID = %#x, reference SipHash-2-4 = %#x", seed, ft, got, want)
+			}
+		}
+	}
+}
+
+// TestFlowIDGolden pins the paper-faithful SHA-1 ⊕ APHash derivation to
+// exact values, so refactors of the byte-scratch path (Bytes vs AppendBytes
+// vs the in-place ID scratch) can never silently change a FlowID — the
+// committed results_*.txt and CSNP fixtures all depend on these bits.
+func TestFlowIDGolden(t *testing.T) {
+	cases := []struct {
+		ft   FiveTuple
+		want FlowID
+	}{
+		{FiveTuple{}, 0x421ede700159ec10},
+		{FiveTuple{SrcIP: 0x0a000001, DstIP: 0xc0a80102, SrcPort: 0x1234, DstPort: 0x0050, Proto: 6}, 0x3410e07bcdc1f139},
+		{FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}, 0xf74fd3bf9d1e5ef7},
+		{FiveTuple{SrcIP: ^uint32(0), DstIP: ^uint32(0), SrcPort: ^uint16(0), DstPort: ^uint16(0), Proto: ^uint8(0)}, 0xd6c03da34bca52b5},
+	}
+	for _, c := range cases {
+		if got := c.ft.ID(); got != c.want {
+			t.Errorf("ID(%v) = %#016x, want %#016x", c.ft, uint64(got), uint64(c.want))
+		}
+	}
+}
+
+// TestFlowIDerGolden freezes the fast hash itself: these values may only
+// change if the FlowIDer algorithm deliberately changes, which would
+// invalidate any persisted fast-hash-derived state.
+func TestFlowIDerGolden(t *testing.T) {
+	h := NewFlowIDer(1)
+	cases := []struct {
+		ft   FiveTuple
+		want FlowID
+	}{
+		{FiveTuple{}, 0xdb6de8184a072f7c},
+		{FiveTuple{SrcIP: 0x0a000001, DstIP: 0xc0a80102, SrcPort: 0x1234, DstPort: 0x0050, Proto: 6}, 0x1d6ada2dd2de94e5},
+		{FiveTuple{SrcIP: ^uint32(0), DstIP: ^uint32(0), SrcPort: ^uint16(0), DstPort: ^uint16(0), Proto: ^uint8(0)}, 0x29d6c06a65323fd5},
+	}
+	for _, c := range cases {
+		if got := h.ID(c.ft); got != c.want {
+			t.Errorf("FlowIDer(1).ID(%v) = %#016x, want %#016x", c.ft, uint64(got), uint64(c.want))
+		}
+	}
+}
+
+func TestFlowIDerSeedSensitive(t *testing.T) {
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	a := NewFlowIDer(1)
+	b := NewFlowIDer(2)
+	if a.ID(ft) == b.ID(ft) {
+		t.Fatal("different seeds produced the same flow ID")
+	}
+	again := NewFlowIDer(1)
+	if a.ID(ft) != again.ID(ft) {
+		t.Fatal("same seed did not reproduce the flow ID")
+	}
+	if a.Seed() != 1 {
+		t.Fatalf("Seed() = %d, want 1", a.Seed())
+	}
+}
+
+func TestFlowIDerBlockMatchesScalar(t *testing.T) {
+	h := NewFlowIDer(7)
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 255, 256, 257} {
+		tuples := randomTuples(n, uint64(n)+1)
+		got := h.IDBlock(nil, tuples)
+		if len(got) != n {
+			t.Fatalf("n=%d: IDBlock returned %d ids", n, len(got))
+		}
+		for i, ft := range tuples {
+			if want := h.ID(ft); got[i] != want {
+				t.Fatalf("n=%d tuple %d: block %#x != scalar %#x", n, i, got[i], want)
+			}
+		}
+	}
+	// IDBlock must append, preserving existing dst content.
+	tuples := randomTuples(4, 9)
+	dst := []FlowID{123}
+	dst = h.IDBlock(dst, tuples)
+	if len(dst) != 5 || dst[0] != 123 {
+		t.Fatalf("IDBlock must append: got %v", dst)
+	}
+}
+
+func TestFlowIDerZeroAllocs(t *testing.T) {
+	h := NewFlowIDer(3)
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if n := testing.AllocsPerRun(100, func() { _ = h.ID(ft) }); n != 0 {
+		t.Fatalf("FlowIDer.ID allocates %.1f per call, want 0", n)
+	}
+	tuples := randomTuples(256, 5)
+	dst := make([]FlowID, 0, 256)
+	if n := testing.AllocsPerRun(100, func() { dst = h.IDBlock(dst[:0], tuples) }); n != 0 {
+		t.Fatalf("FlowIDer.IDBlock allocates %.1f per call with reused dst, want 0", n)
+	}
+}
+
+func TestAppendBytesMatchesBytes(t *testing.T) {
+	for _, ft := range randomTuples(200, 21) {
+		b := ft.Bytes()
+		if got := ft.AppendBytes(nil); !bytes.Equal(got, b[:]) {
+			t.Fatalf("AppendBytes(%v) = %x, Bytes = %x", ft, got, b)
+		}
+	}
+	// Appends, never overwrites.
+	pre := []byte{0xaa}
+	ft := FiveTuple{SrcIP: 1, Proto: 6}
+	out := ft.AppendBytes(pre)
+	if len(out) != 14 || out[0] != 0xaa {
+		t.Fatalf("AppendBytes must append: got %x", out)
+	}
+}
+
+func BenchmarkFlowIDFast(b *testing.B) {
+	h := NewFlowIDer(1)
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ft.SrcPort = uint16(i)
+		_ = h.ID(ft)
+	}
+}
+
+func BenchmarkFlowIDFastBlock(b *testing.B) {
+	h := NewFlowIDer(1)
+	tuples := randomTuples(256, 3)
+	dst := make([]FlowID, 0, len(tuples))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = h.IDBlock(dst[:0], tuples)
+	}
+	b.SetBytes(0)
+	_ = dst
+}

@@ -1,13 +1,60 @@
 package hashing
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
+
+// diffCorpus tracks every flow ID either hash has produced across the whole
+// fuzz run, so the target is differential: a pair of distinct tuples that
+// collides under one hash is logged the moment the second tuple arrives,
+// never silently dropped. A pair that collides under BOTH hashes at once is
+// treated as a real failure — two independent 64-bit hashes agreeing on a
+// collision within a fuzz-sized corpus is not birthday noise.
+type diffCorpus struct {
+	mu   sync.Mutex
+	sha1 map[FlowID]FiveTuple
+	fast map[FlowID]FiveTuple
+}
+
+// diffFuzzSeed fixes the fast hasher used for corpus-wide collision
+// tracking; the per-execution fuzzed seed exercises keying separately.
+const diffFuzzSeed = 0xd1ff
+
+var fuzzCorpus = diffCorpus{
+	sha1: make(map[FlowID]FiveTuple),
+	fast: make(map[FlowID]FiveTuple),
+}
+
+// record notes one (tuple, id) observation for the named hash. It returns a
+// non-empty description when a distinct earlier tuple already produced the
+// same id under that hash.
+func (c *diffCorpus) record(m map[FlowID]FiveTuple, tup FiveTuple, id FlowID) (FiveTuple, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := m[id]
+	if !ok {
+		m[id] = tup
+		return FiveTuple{}, false
+	}
+	return prev, prev != tup
+}
 
 // FuzzFiveTupleHash checks the hash-layer contracts the sketch's
-// correctness rests on: flow-ID generation is a pure function of the tuple
-// (equal tuples always collapse to equal IDs, Section 6.1), and KSelector
-// always yields exactly k distinct in-range counter indices, reproducibly
-// for the same (flow, seed) — the "k different collision-free hash
-// functions" requirement of Section 3.1.
+// correctness rests on, differentially across both flow-ID derivations:
+//
+//   - the paper-faithful SHA-1 ⊕ APHash ID() and the fast keyed FlowIDer
+//     are both pure functions of the tuple (equal tuples always collapse to
+//     equal IDs, Section 6.1);
+//   - the fast path is seed-sensitive: distinct seeds are distinct hash
+//     functions;
+//   - across the accumulated fuzz corpus, distinct tuples that collide under
+//     one hash but not the other are logged (64-bit birthday noise is legal
+//     but must be visible), while a simultaneous collision under both
+//     hashes fails the run;
+//   - KSelector always yields exactly k distinct in-range counter indices,
+//     reproducibly for the same (flow, seed) — the "k different
+//     collision-free hash functions" requirement of Section 3.1.
 func FuzzFiveTupleHash(f *testing.F) {
 	f.Add(uint32(0x0a000001), uint32(0x0a000002), uint16(443), uint16(8080), uint8(6), uint64(0), uint8(3))
 	f.Add(uint32(0), uint32(0), uint16(0), uint16(0), uint8(0), uint64(1), uint8(1))
@@ -20,6 +67,45 @@ func FuzzFiveTupleHash(f *testing.F) {
 		clone := FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: proto}
 		if clone.ID() != id {
 			t.Fatalf("equal tuples hash differently: %x vs %x", id, clone.ID())
+		}
+
+		// Fast path: deterministic under one seed, rebuilt hashers agree,
+		// and the hash is keyed — a different seed must behave as a
+		// different function (identical outputs for the fuzzed tuple would
+		// be a 2^-64 accident, so treat agreement as a bug).
+		hasher := NewFlowIDer(seed)
+		fastID := hasher.ID(tup)
+		if again := hasher.ID(tup); again != fastID {
+			t.Fatalf("FlowIDer.ID is not deterministic: %x then %x", fastID, again)
+		}
+		rebuilt := NewFlowIDer(seed)
+		if rebuilt.ID(tup) != fastID {
+			t.Fatalf("rebuilt FlowIDer(seed=%#x) disagrees: %x vs %x", seed, rebuilt.ID(tup), fastID)
+		}
+		other := NewFlowIDer(seed + 1)
+		if other.ID(tup) == fastID {
+			t.Fatalf("FlowIDer is not seed-sensitive: seeds %#x and %#x agree on %v", seed, seed+1, tup)
+		}
+		block := hasher.IDBlock(nil, []FiveTuple{tup, clone})
+		if block[0] != fastID || block[1] != fastID {
+			t.Fatalf("IDBlock disagrees with scalar ID: %x/%x vs %x", block[0], block[1], fastID)
+		}
+
+		// Differential corpus: same fixed-seed fast hasher across every
+		// execution, so collisions accumulate over the whole fuzz run.
+		diff := NewFlowIDer(diffFuzzSeed)
+		diffID := diff.ID(tup)
+		prevSHA, shaCollides := fuzzCorpus.record(fuzzCorpus.sha1, tup, id)
+		prevFast, fastCollides := fuzzCorpus.record(fuzzCorpus.fast, tup, diffID)
+		if shaCollides && fastCollides {
+			t.Fatalf("tuples collide under BOTH hashes: %v vs %v/%v (sha1 id %x, fast id %x)",
+				tup, prevSHA, prevFast, id, diffID)
+		}
+		if shaCollides {
+			t.Logf("sha1 64-bit collision (legal birthday noise): %v and %v -> %x; fast ids differ", prevSHA, tup, id)
+		}
+		if fastCollides {
+			t.Logf("fast 64-bit collision (legal birthday noise): %v and %v -> %x; sha1 ids differ", prevFast, tup, diffID)
 		}
 
 		k := 1 + int(kRaw%8)

@@ -42,19 +42,42 @@ func ipString(ip uint32) string {
 // the hash input for flow-ID generation.
 func (t FiveTuple) Bytes() [13]byte {
 	var b [13]byte
+	t.putBytes(&b)
+	return b
+}
+
+// AppendBytes appends the canonical 13-byte wire encoding of the tuple to
+// dst and returns the extended slice — the allocation-free form for callers
+// that feed the wire encoding into a streaming hash or an output buffer.
+// Byte-identical to Bytes().
+func (t FiveTuple) AppendBytes(dst []byte) []byte {
+	var b [13]byte
+	t.putBytes(&b)
+	return append(dst, b[:]...)
+}
+
+// putBytes fills b with the canonical wire encoding. Shared by Bytes,
+// AppendBytes, and ID so every consumer of the encoding is byte-identical by
+// construction.
+func (t FiveTuple) putBytes(b *[13]byte) {
 	binary.BigEndian.PutUint32(b[0:4], t.SrcIP)
 	binary.BigEndian.PutUint32(b[4:8], t.DstIP)
 	binary.BigEndian.PutUint16(b[8:10], t.SrcPort)
 	binary.BigEndian.PutUint16(b[10:12], t.DstPort)
 	b[12] = t.Proto
-	return b
 }
 
 // ID derives the flow's FlowID the way the paper does: SHA-1 over the header
 // bytes, folded with APHash so the two independent digests jointly select
-// the identifier.
+// the identifier. The wire encoding is built in a stack scratch and hashed
+// in place — no array-return round trip — and the resulting FlowIDs are
+// bit-identical to the historical Bytes()-based derivation (pinned by
+// TestFlowIDGolden).
+//
+//caesar:hotpath the paper-faithful flow-ID derivation on every tuple-level ingest under FlowHashSHA1
 func (t FiveTuple) ID() FlowID {
-	b := t.Bytes()
+	var b [13]byte
+	t.putBytes(&b)
 	sum := sha1.Sum(b[:])
 	h := binary.BigEndian.Uint64(sum[:8])
 	return FlowID(h ^ uint64(APHash(b[:]))<<32)

@@ -1,0 +1,139 @@
+package hashing
+
+import "encoding/binary"
+
+// This file is the statistical quality harness for the flow-ID hashes: an
+// avalanche-matrix measurement over the 104-bit tuple input space, the same
+// measurement for 64-bit mixers, and a chi-square statistic for bucket
+// uniformity. The fast FlowIDer is allowed to replace the paper's SHA-1 ⊕
+// APHash derivation only because it passes the same gates SHA-1 does (see
+// quality_test.go); the harness itself is kept in non-test code so the
+// teeth test can prove it rejects a deliberately weakened mixer.
+
+// TupleBits is the size of the canonical FiveTuple wire encoding in bits —
+// the input dimension of the tuple avalanche matrix.
+const TupleBits = 13 * 8
+
+// TupleFromBytes decodes the canonical 13-byte wire encoding back into a
+// FiveTuple — the inverse of Bytes()/AppendBytes, used by the avalanche
+// harness to flip individual input bits.
+func TupleFromBytes(b [13]byte) FiveTuple {
+	return FiveTuple{
+		SrcIP:   binary.BigEndian.Uint32(b[0:4]),
+		DstIP:   binary.BigEndian.Uint32(b[4:8]),
+		SrcPort: binary.BigEndian.Uint16(b[8:10]),
+		DstPort: binary.BigEndian.Uint16(b[10:12]),
+		Proto:   b[12],
+	}
+}
+
+// AvalancheMatrix measures the avalanche behavior of a 64-bit tuple hash:
+// for trials random tuples it flips each of the TupleBits input bits in turn
+// and records, per (input bit, output bit) cell, the fraction of trials in
+// which that output bit flipped. An ideal hash flips every output bit with
+// probability 1/2 regardless of which input bit changed, so every cell of a
+// good hash sits near 0.5; a structural weakness shows up as a cell pinned
+// near 0 (input bit never reaches that output bit) or near 1 (it reaches it
+// linearly). The matrix is [TupleBits][64].
+func AvalancheMatrix(hash func(FiveTuple) uint64, trials int, seed uint64) [][]float64 {
+	if trials < 1 {
+		panic("hashing: AvalancheMatrix requires trials >= 1")
+	}
+	counts := make([][64]int, TupleBits)
+	p := NewPRNG(seed)
+	var b [13]byte
+	for trial := 0; trial < trials; trial++ {
+		binary.LittleEndian.PutUint64(b[0:8], p.Next())
+		binary.LittleEndian.PutUint32(b[8:12], uint32(p.Next()))
+		b[12] = byte(p.Next())
+		base := hash(TupleFromBytes(b))
+		for bit := 0; bit < TupleBits; bit++ {
+			b[bit/8] ^= 1 << (bit % 8)
+			d := base ^ hash(TupleFromBytes(b))
+			b[bit/8] ^= 1 << (bit % 8)
+			row := &counts[bit]
+			for out := 0; out < 64; out++ {
+				row[out] += int((d >> out) & 1)
+			}
+		}
+	}
+	return normalizeMatrix(counts, trials)
+}
+
+// MixerAvalancheMatrix is AvalancheMatrix for a 64-bit → 64-bit mixer: the
+// [64][64] matrix of per-(input bit, output bit) flip probabilities over
+// trials random inputs.
+func MixerAvalancheMatrix(mix func(uint64) uint64, trials int, seed uint64) [][]float64 {
+	if trials < 1 {
+		panic("hashing: MixerAvalancheMatrix requires trials >= 1")
+	}
+	counts := make([][64]int, 64)
+	p := NewPRNG(seed)
+	for trial := 0; trial < trials; trial++ {
+		x := p.Next()
+		base := mix(x)
+		for bit := 0; bit < 64; bit++ {
+			d := base ^ mix(x^(1<<bit))
+			row := &counts[bit]
+			for out := 0; out < 64; out++ {
+				row[out] += int((d >> out) & 1)
+			}
+		}
+	}
+	return normalizeMatrix(counts, trials)
+}
+
+func normalizeMatrix(counts [][64]int, trials int) [][]float64 {
+	m := make([][]float64, len(counts))
+	for i := range counts {
+		row := make([]float64, 64)
+		for j, c := range counts[i] {
+			row[j] = float64(c) / float64(trials)
+		}
+		m[i] = row
+	}
+	return m
+}
+
+// MaxAvalancheBias returns the worst cell's distance from the ideal flip
+// probability 1/2: max over all (input bit, output bit) cells of |p - 0.5|.
+// For trials independent samples per cell the sampling noise of one cell is
+// ~sqrt(0.25/trials); the worst of TupleBits*64 cells stays within about
+// 4 standard errors of that, so a threshold well above 4/(2*sqrt(trials))
+// only trips on structural bias.
+func MaxAvalancheBias(m [][]float64) float64 {
+	worst := 0.0
+	for _, row := range m {
+		for _, p := range row {
+			if d := p - 0.5; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	return worst
+}
+
+// ChiSquare returns the chi-square statistic of observed bucket counts
+// against a uniform expectation, plus the degrees of freedom (buckets - 1).
+// Under the uniform null the statistic is approximately chi-square with df
+// degrees of freedom: mean df, standard deviation sqrt(2·df).
+func ChiSquare(counts []int) (stat float64, df int) {
+	if len(counts) < 2 {
+		panic("hashing: ChiSquare requires >= 2 buckets")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	expect := float64(total) / float64(len(counts))
+	if expect == 0 {
+		return 0, len(counts) - 1
+	}
+	for _, c := range counts {
+		d := float64(c) - expect
+		stat += d * d / expect
+	}
+	return stat, len(counts) - 1
+}

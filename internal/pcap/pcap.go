@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 
 	"github.com/caesar-sketch/caesar/internal/hashing"
 )
@@ -194,6 +195,23 @@ func (pr *Reader) ReadBlock(dst []Packet) (int, error) {
 		}
 	}
 	return len(dst), nil
+}
+
+// AppendTuples appends the 5-tuples of pkts[:n] to dst and returns it —
+// the glue between ReadBlock and the fused tuple-block ingest paths
+// (FlowIDer.IDBlock, Ingester.ObservePackets): the replay loop keeps one
+// []Packet and one []FiveTuple and reuses both every block, so the
+// extraction is allocation-free in the steady state.
+//
+//caesar:hotpath the per-block tuple extraction of a fused capture replay
+func AppendTuples(dst []hashing.FiveTuple, pkts []Packet) []hashing.FiveTuple {
+	//caesar:ignore allocfree grows only until dst reaches the replay's block size, then every block reuses it
+	dst = slices.Grow(dst, len(pkts))
+	for i := range pkts {
+		//caesar:ignore allocfree dst was pre-grown to len(pkts) just above; the append writes into reserved capacity
+		dst = append(dst, pkts[i].Tuple)
+	}
+	return dst
 }
 
 // ReadAll drains the capture into a slice.

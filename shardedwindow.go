@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"github.com/caesar-sketch/caesar/internal/epoch"
+	"github.com/caesar-sketch/caesar/internal/hashing"
 	"github.com/caesar-sketch/caesar/internal/stats"
 )
 
@@ -60,6 +62,13 @@ type ShardedWindow struct {
 	nshards int
 	opts    ShardedOptions
 
+	// hasher derives fast flow IDs for the tuple ingest paths when
+	// opts.FlowHash == FlowHashFast. It is keyed from the *base* cfg.Seed,
+	// not the per-epoch strided seeds, so a flow keeps one ID for the life
+	// of the window — windowed estimates sum the same FlowID across sealed
+	// epochs, which only works if rotation never re-keys the tuple hash.
+	hasher hashing.FlowIDer
+
 	// mu serializes lifecycle transitions: Rotate, Close, and handle
 	// minting. The packet path never takes it.
 	mu      sync.Mutex
@@ -111,7 +120,7 @@ func NewShardedWindowOptions(epochs, nshards int, cfg Config, opts ShardedOption
 	if epochs < 1 {
 		return nil, fmt.Errorf("caesar: sharded window needs >= 1 epoch, got %d", epochs)
 	}
-	w := &ShardedWindow{cfg: cfg, nshards: nshards, opts: opts}
+	w := &ShardedWindow{cfg: cfg, nshards: nshards, opts: opts, hasher: hashing.NewFlowIDer(cfg.Seed)}
 	first, err := w.newEpochSharded(0)
 	if err != nil {
 		return nil, err
@@ -170,7 +179,7 @@ func (w *ShardedWindow) Ingester() *WindowIngester {
 	if w.closed {
 		panic("caesar: Ingester after Close")
 	}
-	wi := &WindowIngester{h: w.lc.Current().Ingester()}
+	wi := &WindowIngester{w: w, h: w.lc.Current().Ingester()}
 	w.handles = append(w.handles, wi)
 	return wi
 }
@@ -184,8 +193,28 @@ func (w *ShardedWindow) Observe(flow FlowID) { w.legacy.Observe(flow) }
 // the shared internal handle.
 func (w *ShardedWindow) ObserveBatch(flows []FlowID) { w.legacy.ObserveBatch(flows) }
 
-// ObservePacket parses a 5-tuple and routes one packet of its flow.
+// ObservePacket parses a 5-tuple and routes one packet of its flow,
+// deriving the flow ID with the window's configured FlowHash.
 func (w *ShardedWindow) ObservePacket(t FiveTuple) { w.legacy.ObservePacket(t) }
+
+// ObservePackets routes a block of raw 5-tuples into the current epoch
+// through the shared internal handle, fusing flow-ID derivation with the
+// batched ingest path (see WindowIngester.ObservePackets).
+func (w *ShardedWindow) ObservePackets(tuples []FiveTuple) { w.legacy.ObservePackets(tuples) }
+
+// HashTuple derives the flow ID the window's ingest paths would assign to
+// the tuple: the keyed fast hash when opts.FlowHash == FlowHashFast, the
+// paper-faithful SHA-1 ⊕ APHash derivation otherwise. Unlike Sharded's
+// per-epoch hashers, this mapping is fixed for the life of the window, so
+// callers can hash once and query the same FlowID across rotations.
+//
+//caesar:hotpath per-packet flow-ID derivation on the windowed tuple ingest path
+func (w *ShardedWindow) HashTuple(t FiveTuple) FlowID {
+	if w.opts.FlowHash == FlowHashFast {
+		return w.hasher.ID(t)
+	}
+	return t.ID()
+}
 
 // WindowIngester is a per-producer ingest handle that follows the window
 // across rotations. It wraps the current epoch's Ingester; Rotate swaps
@@ -193,8 +222,13 @@ func (w *ShardedWindow) ObservePacket(t FiveTuple) { w.legacy.ObservePacket(t) }
 // packet is never split between epochs and a swap never loses buffered
 // packets (the old epoch's seal barrier drains them).
 type WindowIngester struct {
+	w  *ShardedWindow // owning window: FlowHash option and window-stable hasher
 	mu sync.Mutex
 	h  *Ingester // current epoch's handle, guarded by mu
+	// idBuf is the ObservePackets block-hashing scratch, guarded by mu.
+	// Tuples are hashed with the *window's* hasher (not the epoch's) so a
+	// flow's ID never changes across rotations.
+	idBuf []FlowID
 }
 
 // Observe records one packet in the window's current epoch. After the
@@ -218,8 +252,35 @@ func (wi *WindowIngester) ObserveBatch(flows []FlowID) {
 	wi.mu.Unlock()
 }
 
-// ObservePacket parses a 5-tuple and records one packet of its flow.
-func (wi *WindowIngester) ObservePacket(t FiveTuple) { wi.Observe(t.ID()) }
+// ObservePacket parses a 5-tuple and records one packet of its flow,
+// deriving the flow ID with the window's configured FlowHash.
+func (wi *WindowIngester) ObservePacket(t FiveTuple) { wi.Observe(wi.w.HashTuple(t)) }
+
+// ObservePackets is the fused tuple-level block ingest path of the windowed
+// service: one call hashes the whole block of raw 5-tuples (with the
+// window-stable FlowHash — FlowIDer.IDBlock when fast) and hands the IDs to
+// the current epoch's batched ingest, all under a single handle lock, so a
+// block is never split across an epoch rotation.
+//
+//caesar:hotpath the fused tuple-block entry point of the live measurement service
+func (wi *WindowIngester) ObservePackets(tuples []FiveTuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	wi.mu.Lock()
+	if wi.w.opts.FlowHash == FlowHashFast {
+		wi.idBuf = wi.w.hasher.IDBlock(wi.idBuf[:0], tuples)
+	} else {
+		//caesar:ignore allocfree slices.Grow is a no-op once idBuf has reached steady-state capacity
+		wi.idBuf = slices.Grow(wi.idBuf[:0], len(tuples))
+		for _, t := range tuples {
+			//caesar:ignore allocfree idBuf was pre-grown to len(tuples) just above; the append writes into reserved capacity
+			wi.idBuf = append(wi.idBuf, t.ID())
+		}
+	}
+	wi.h.ObserveBatch(wi.idBuf)
+	wi.mu.Unlock()
+}
 
 // Flush pushes the handle's partially-filled buffers to the current
 // epoch's shard workers, bounding how long a trickle of packets can stay

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/caesar-sketch/caesar/internal/epoch"
+	"github.com/caesar-sketch/caesar/internal/hashing"
 	"github.com/caesar-sketch/caesar/internal/sketch"
 )
 
@@ -162,6 +163,7 @@ func ReadShardedWindowOptions(r io.Reader, opts ShardedOptions) (*ShardedWindow,
 		cfg:            cfg,
 		nshards:        nshards,
 		opts:           opts,
+		hasher:         hashing.NewFlowIDer(cfg.Seed),
 		retiredPackets: retiredPackets,
 		retiredDropped: retiredDropped,
 		retiredStats:   retired,
